@@ -1,0 +1,47 @@
+# HPMP reproduction — convenience targets. Everything is plain `go` under
+# the hood; the Makefile only groups the common flows.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench eval eval-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One testing.B target per paper table/figure (quick sizes).
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# The full evaluation: every table and figure at full size.
+eval:
+	$(GO) run ./cmd/hpmpsim run all
+
+eval-quick:
+	$(GO) run ./cmd/hpmpsim -quick run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/serverless
+	$(GO) run ./examples/redis
+	$(GO) run ./examples/virtualization
+	$(GO) run ./examples/attestation
+
+# The artifacts the exercise asks for.
+artifacts:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

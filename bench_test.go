@@ -1,0 +1,106 @@
+// Package hpmp's top-level benchmarks: one testing.B target per table and
+// figure of the paper's evaluation (§8). Each benchmark runs the
+// corresponding experiment end to end on the simulated platforms at the
+// quick (CI) sizes; `go run ./cmd/hpmpsim run all` executes the full-size
+// sweep and prints the tables.
+package main_test
+
+import (
+	"testing"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/bench"
+)
+
+// runExperiment drives one experiment b.N times and reports rows/op so the
+// output proves the tables materialized.
+func runExperiment(b *testing.B, id string) {
+	exp, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Quick = true
+	cfg.MemSize = 512 * addr.MiB
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = 0
+		for _, t := range res.Tables {
+			rows += t.NumRows()
+		}
+		if rows == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkFig3 regenerates the Figure 3 preview (a–d): single-ld latency,
+// GAP, serverless, and Redis, each normalized Table vs Segment on BOOM.
+func BenchmarkFig3(b *testing.B) {
+	for _, id := range []string{"fig3a", "fig3b", "fig3c", "fig3d"} {
+		id := id
+		b.Run(id, func(b *testing.B) { runExperiment(b, id) })
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: ld/sd latency under the TC1–TC4
+// state recipes of Table 2, on Rocket and BOOM, for PMP/PMPT/HPMP.
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkTable3 regenerates Table 3: LMBench OS-operation costs on BOOM.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig11a regenerates Figure 11-a: the RV8 suite on Rocket.
+func BenchmarkFig11a(b *testing.B) { runExperiment(b, "fig11a") }
+
+// BenchmarkFig11bc regenerates Figure 11-b/c: the GAP suite on Rocket and
+// BOOM over a Kronecker graph.
+func BenchmarkFig11bc(b *testing.B) { runExperiment(b, "fig11bc") }
+
+// BenchmarkFig12ab regenerates Figure 12-a/b: FunctionBench as short-lived
+// processes on Rocket and BOOM, with the Host-PMP non-secure baseline.
+func BenchmarkFig12ab(b *testing.B) { runExperiment(b, "fig12ab") }
+
+// BenchmarkFig12c regenerates Figure 12-c: the 4-function image-processing
+// chain across image sizes.
+func BenchmarkFig12c(b *testing.B) { runExperiment(b, "fig12c") }
+
+// BenchmarkFig12de regenerates Figure 12-d/e: the Redis benchmark command
+// sweep (RPS) on Rocket and BOOM.
+func BenchmarkFig12de(b *testing.B) { runExperiment(b, "fig12de") }
+
+// BenchmarkFig13 regenerates Figure 13: hlv.d latency through 3-D walks
+// under PMP/PMPT/HPMP/HPMP-GPT across five TLB/fence states.
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14a regenerates Figure 14-a: domain-switch cost at 2/12/101
+// domains.
+func BenchmarkFig14a(b *testing.B) { runExperiment(b, "fig14a") }
+
+// BenchmarkFig14bc regenerates Figure 14-b/c: region allocation and release
+// latencies, including PMP's entry-exhaustion wall.
+func BenchmarkFig14bc(b *testing.B) { runExperiment(b, "fig14bc") }
+
+// BenchmarkFig14d regenerates Figure 14-d: allocation latency vs region
+// size, with and without 32 MiB huge permission-table entries.
+func BenchmarkFig14d(b *testing.B) { runExperiment(b, "fig14d") }
+
+// BenchmarkFig15 regenerates Figure 15: the fragmentation quadrants
+// (contiguous/fragmented VA × contiguous/fragmented PA).
+func BenchmarkFig15(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16 regenerates Figure 16: the PMPTW-Cache comparison.
+func BenchmarkFig16(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17 regenerates Figure 17: FunctionBench with 8- vs 32-entry
+// page walk caches.
+func BenchmarkFig17(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkTable4 regenerates Table 4: the hardware resource cost model.
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }

@@ -1,0 +1,89 @@
+// Command hpmpsim runs the paper's experiments on the simulated platforms.
+//
+// Usage:
+//
+//	hpmpsim list                 # list every experiment (table/figure ids)
+//	hpmpsim run <id> [...]       # run one or more experiments
+//	hpmpsim run all              # run everything (the full evaluation)
+//	hpmpsim -quick run all       # scaled-down sizes (CI)
+//	hpmpsim -csv run fig10       # emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run scaled-down experiment sizes")
+	csv := flag.Bool("csv", false, "emit CSV tables")
+	memMiB := flag.Uint64("mem", 512, "simulated DRAM size in MiB")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.MemSize = *memMiB * addr.MiB
+
+	switch args[0] {
+	case "list":
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		ids := args[1:]
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "hpmpsim: run requires experiment ids (or 'all')")
+			os.Exit(2)
+		}
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = nil
+			for _, e := range bench.All() {
+				ids = append(ids, e.ID)
+			}
+		}
+		for _, id := range ids {
+			exp, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hpmpsim: unknown experiment %q (try 'hpmpsim list')\n", id)
+				os.Exit(2)
+			}
+			res, err := exp.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hpmpsim: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			if *csv {
+				for _, t := range res.Tables {
+					fmt.Printf("# %s — %s\n%s\n", res.ID, t.Title, t.CSV())
+				}
+			} else {
+				fmt.Println(res.Render())
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `hpmpsim — HPMP (MICRO'23) experiment harness
+
+Usage:
+  hpmpsim [flags] list
+  hpmpsim [flags] run <experiment-id>... | all
+
+Flags:
+`)
+	flag.PrintDefaults()
+}

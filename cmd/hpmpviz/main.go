@@ -1,0 +1,94 @@
+// Command hpmpviz renders one experiment's key series as ASCII bar charts,
+// for a quick visual read of the paper's figures without plotting tools.
+//
+// Usage:
+//
+//	hpmpviz fig10        # bars of ld-latency per mode per test case
+//	hpmpviz fig12de      # bars of Redis RPS percentages
+//	hpmpviz -quick fig13 # scaled-down run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run scaled-down experiment sizes")
+	width := flag.Int("width", 52, "max bar width in characters")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hpmpviz [-quick] <experiment-id>")
+		os.Exit(2)
+	}
+	id := flag.Arg(0)
+	exp, ok := bench.ByID(id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hpmpviz: unknown experiment %q\n", id)
+		os.Exit(2)
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.MemSize = 512 * addr.MiB
+	res, err := exp.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpmpviz: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s — %s\n\n", res.ID, res.Title)
+	for _, t := range res.Tables {
+		renderBars(t.CSV(), *width)
+	}
+	for _, n := range res.Notes {
+		fmt.Println("note:", n)
+	}
+}
+
+// renderBars turns each numeric cell of a CSV table into a labelled bar,
+// scaled to the table's maximum.
+func renderBars(csv string, width int) {
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) < 2 {
+		return
+	}
+	header := strings.Split(lines[0], ",")
+	type bar struct {
+		label string
+		val   float64
+	}
+	var bars []bar
+	maxVal := 0.0
+	for _, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		for i := 1; i < len(cells) && i < len(header); i++ {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(cells[i]), "%"), 64)
+			if err != nil {
+				continue
+			}
+			bars = append(bars, bar{label: cells[0] + " " + header[i], val: v})
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		return
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+	}
+	for _, b := range bars {
+		n := int(b.val / maxVal * float64(width))
+		fmt.Printf("%-*s |%s %.1f\n", labelW, b.label, strings.Repeat("#", n), b.val)
+	}
+	fmt.Println()
+}

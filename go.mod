@@ -1,0 +1,3 @@
+module hpmp
+
+go 1.22

@@ -1,0 +1,150 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§8), each regenerating the same rows/series
+// the paper reports, on the simulated platforms. Absolute numbers differ
+// from the FPGA (documented in EXPERIMENTS.md); orderings, crossovers, and
+// rough factors are the reproduction target.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/cpu"
+	"hpmp/internal/kernel"
+	"hpmp/internal/monitor"
+	"hpmp/internal/perm"
+	"hpmp/internal/stats"
+)
+
+// Config tunes experiment sizes.
+type Config struct {
+	// Quick shrinks workload sizes for CI and `go test -bench`.
+	Quick bool
+	// MemSize is the simulated DRAM size.
+	MemSize uint64
+}
+
+// DefaultConfig returns the full-size configuration.
+func DefaultConfig() Config {
+	return Config{MemSize: 512 * addr.MiB}
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	// Notes records methodology details worth printing with the tables.
+	Notes []string
+}
+
+// Render formats the whole result as text.
+func (r *Result) Render() string {
+	out := fmt.Sprintf("### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += t.Render() + "\n"
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// Experiment is one registered runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(cfg Config) (*Result, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment in registration order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// System is a fully booted stack: machine + monitor + kernel.
+type System struct {
+	Mach *cpu.Machine
+	Mon  *monitor.Monitor // nil for the Host-PMP (no TEE) baseline
+	Kern *kernel.Kernel
+	Mode monitor.Mode
+}
+
+// NewSystem boots a machine of the given platform under the given
+// isolation mode and starts the kernel.
+func NewSystem(plat cpu.Platform, mode monitor.Mode, memSize uint64) (*System, error) {
+	mach := cpu.NewMachine(plat, memSize)
+	mon, err := monitor.Boot(mach, monitor.DefaultConfig(mode))
+	if err != nil {
+		return nil, fmt.Errorf("bench: booting monitor: %w", err)
+	}
+	k, err := kernel.New(mach, mon, kernel.DefaultConfig(memSize))
+	if err != nil {
+		return nil, fmt.Errorf("bench: booting kernel: %w", err)
+	}
+	return &System{Mach: mach, Mon: mon, Kern: k, Mode: mode}, nil
+}
+
+// NewHostSystem boots the non-secure baseline ("Host-PMP" in Fig. 12): no
+// TEE deployed, but PMP is implemented — one RWX segment covers DRAM.
+func NewHostSystem(plat cpu.Platform, memSize uint64) (*System, error) {
+	mach := cpu.NewMachine(plat, memSize)
+	if err := mach.Checker.SetSegment(0, addr.Range{Base: 0, Size: napotCeil(memSize)}, perm.RWX, false); err != nil {
+		return nil, err
+	}
+	k, err := kernel.New(mach, nil, kernel.DefaultConfig(memSize))
+	if err != nil {
+		return nil, err
+	}
+	return &System{Mach: mach, Mon: nil, Kern: k, Mode: monitor.ModePMP}, nil
+}
+
+func napotCeil(size uint64) uint64 {
+	n := uint64(1)
+	for n < size {
+		n <<= 1
+	}
+	return n
+}
+
+// NewEnv spawns a fresh process and returns its environment.
+func (s *System) NewEnv(name string, heapPages int) (*kernel.Env, error) {
+	if heapPages == 0 {
+		heapPages = 64 * 1024
+	}
+	p, err := s.Kern.Spawn(kernel.Image{Name: name, TextPages: 32, DataPages: 32, HeapPages: heapPages})
+	if err != nil {
+		return nil, err
+	}
+	return s.Kern.NewEnv(p)
+}
+
+// ModeNames maps the three isolation modes to the paper's labels.
+var ModeNames = map[monitor.Mode]string{
+	monitor.ModePMP:  "PMP",
+	monitor.ModePMPT: "PMPT",
+	monitor.ModeHPMP: "HPMP",
+}
+
+// AllModes is the standard comparison order.
+var AllModes = []monitor.Mode{monitor.ModePMP, monitor.ModePMPT, monitor.ModeHPMP}

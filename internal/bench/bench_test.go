@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment at Quick size
+// and checks each produces at least one non-empty table.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			res, err := exp.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", exp.ID)
+			}
+			for _, tb := range res.Tables {
+				if tb.NumRows() == 0 {
+					t.Errorf("%s has an empty table", exp.ID)
+				}
+			}
+			out := res.Render()
+			if !strings.Contains(out, exp.ID) {
+				t.Errorf("render missing id header")
+			}
+			t.Log("\n" + out)
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{
+		"ext-deep", "ext-enclave", "ext-epmp", "ext-hints", "ext-svx",
+		"fig10", "fig11a", "fig11bc", "fig12ab", "fig12c", "fig12de",
+		"fig13", "fig14a", "fig14bc", "fig14d", "fig15", "fig16", "fig17",
+		"fig3a", "fig3b", "fig3c", "fig3d", "table3", "table4",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registered %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id must not resolve")
+	}
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/cpu"
+	"hpmp/internal/miniredis"
+	"hpmp/internal/stats"
+)
+
+func init() {
+	register("fig12de", "Redis benchmark RPS (Rocket + BOOM)", runFig12de)
+	register("fig3d", "Preview: Redis RPS, Table vs Segment (BOOM)", runFig3d)
+}
+
+// redisRequests picks the per-command request count.
+func redisRequests(cfg Config) int {
+	if cfg.Quick {
+		return 8
+	}
+	return 30
+}
+
+// collectRedis runs the full command sweep on one platform/label and
+// returns rps[command][label].
+func collectRedis(plat cpu.Platform, cfg Config, withHost bool) (map[string]map[string]float64, error) {
+	out := map[string]map[string]float64{}
+	for _, cmd := range miniredis.Commands {
+		out[cmd] = map[string]float64{}
+	}
+	run := func(label string, sysFn func() (*System, error)) error {
+		sys, err := sysFn()
+		if err != nil {
+			return err
+		}
+		e, err := sys.NewEnv("redis-server", 96*1024)
+		if err != nil {
+			return err
+		}
+		srv, err := miniredis.NewServer(e, 48*addr.MiB, 4096)
+		if err != nil {
+			return err
+		}
+		b := miniredis.NewBenchmark(srv, e)
+		if err := b.Prepare(); err != nil {
+			return err
+		}
+		n := redisRequests(cfg)
+		for _, cmd := range miniredis.Commands {
+			rps, err := b.RunCommand(cmd, n)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", label, cmd, err)
+			}
+			out[cmd][label] = rps
+		}
+		return nil
+	}
+	if withHost {
+		if err := run("Host-PMP", func() (*System, error) { return NewHostSystem(plat, cfg.MemSize) }); err != nil {
+			return nil, err
+		}
+	}
+	for _, mode := range AllModes {
+		mode := mode
+		if err := run("PL-"+ModeNames[mode], func() (*System, error) { return NewSystem(plat, mode, cfg.MemSize) }); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func runFig12de(cfg Config) (*Result, error) {
+	res := &Result{ID: "fig12de", Title: "Redis RPS normalized to Penglai-PMP (higher is better)"}
+	for _, p := range []struct {
+		name     string
+		plat     cpu.Platform
+		withHost bool
+	}{{"Rocket", cpu.RocketPlatform(), false}, {"BOOM", cpu.BOOMPlatform(), true}} {
+		data, err := collectRedis(p.plat, cfg, p.withHost)
+		if err != nil {
+			return nil, err
+		}
+		cols := []string{"PL-PMP", "PL-PMPT", "PL-HPMP"}
+		if p.withHost {
+			cols = append([]string{"Host-PMP"}, cols...)
+		}
+		t := stats.NewTable(fmt.Sprintf("Redis (%s), RPS %% of PL-PMP", p.name),
+			append([]string{"Command"}, cols...)...)
+		var pmptLoss, hpmpLoss []float64
+		for _, cmd := range miniredis.Commands {
+			base := data[cmd]["PL-PMP"]
+			row := []string{cmd}
+			for _, c := range cols {
+				row = append(row, fmt.Sprintf("%.1f", stats.Ratio(data[cmd][c], base)))
+			}
+			t.AddRow(row...)
+			pmptLoss = append(pmptLoss, 100-stats.Ratio(data[cmd]["PL-PMPT"], base))
+			hpmpLoss = append(hpmpLoss, 100-stats.Ratio(data[cmd]["PL-HPMP"], base))
+		}
+		res.Tables = append(res.Tables, t)
+		lo, hi := stats.MinMax(pmptLoss)
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: PMPT throughput loss %.1f%%–%.1f%% (avg %.1f%%); HPMP avg %.1f%%.",
+			p.name, lo, hi, stats.Mean(pmptLoss), stats.Mean(hpmpLoss)))
+	}
+	res.Notes = append(res.Notes,
+		"Paper: PMPT loses 5.9–18% Rocket (avg 10.5%), 10.8–31.8% BOOM (avg 16.0%); HPMP avg 3.3%/4.5%.")
+	return res, nil
+}
+
+func runFig3d(cfg Config) (*Result, error) {
+	data, err := collectRedis(cpu.BOOMPlatform(), cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	var ratios []float64
+	worst := 100.0
+	for _, cmd := range miniredis.Commands {
+		r := stats.Ratio(data[cmd]["PL-PMPT"], data[cmd]["PL-PMP"])
+		ratios = append(ratios, r)
+		if r < worst {
+			worst = r
+		}
+	}
+	res := &Result{ID: "fig3d", Title: "Redis RPS normalized to Segment (BOOM, higher is better)"}
+	t := stats.NewTable("Fig 3-d", "Case", "Segment", "Table")
+	t.AddRow("Avg", "100.0", fmt.Sprintf("%.1f", stats.Mean(ratios)))
+	t.AddRow("Worst", "100.0", fmt.Sprintf("%.1f", worst))
+	res.Tables = append(res.Tables, t)
+	return res, nil
+}

@@ -1,0 +1,134 @@
+// Package cpu provides the two core timing models of the evaluation
+// platform (Table 1): RocketCore, a 5-stage in-order scalar at 1 GHz that
+// exposes every cycle of memory latency, and BOOM, a 4-way superscalar
+// out-of-order core at 3.2 GHz whose instruction window hides part of the
+// *data* access latency but — like real hardware — cannot hide translation
+// machinery: TLB-miss page walks and permission-table walks serialize the
+// pipeline.
+//
+// This asymmetry is why the paper's BOOM numbers show *larger relative*
+// permission-table overheads than Rocket (Fig. 12, Fig. 10): the OoO core's
+// baseline is faster, while the extra-dimensional walk stays exposed.
+package cpu
+
+import (
+	"hpmp/internal/mmu"
+	"hpmp/internal/perm"
+	"hpmp/internal/stats"
+
+	"hpmp/internal/addr"
+)
+
+// Config is a core timing model.
+type Config struct {
+	Name     string
+	ClockGHz float64
+	// BaseIPC is instructions per cycle when not stalled on memory.
+	BaseIPC float64
+	// HideCycles is how many cycles of a data access the OoO window can
+	// overlap with independent work (0 for in-order cores).
+	HideCycles uint64
+	// MemClockRatio is core-clock / memory-controller-clock (the DRAM model
+	// runs at 1 GHz).
+	MemClockRatio float64
+}
+
+// Rocket returns the in-order configuration from Table 1.
+func Rocket() Config {
+	return Config{
+		Name:          "Rocket",
+		ClockGHz:      1.0,
+		BaseIPC:       0.65,
+		HideCycles:    0,
+		MemClockRatio: 1.0,
+	}
+}
+
+// BOOM returns the out-of-order configuration from Table 1.
+func BOOM() Config {
+	return Config{
+		Name:          "BOOM",
+		ClockGHz:      3.2,
+		BaseIPC:       2.2,
+		HideCycles:    36,
+		MemClockRatio: 3.2,
+	}
+}
+
+// Core executes a stream of compute and memory operations against an MMU,
+// accumulating a cycle count.
+type Core struct {
+	Cfg Config
+	MMU *mmu.MMU
+	// Now is the current core cycle.
+	Now uint64
+	// Priv is the privilege level subsequent accesses run at.
+	Priv perm.Priv
+
+	// instrCarry accumulates fractional instruction cycles so that many
+	// small Compute calls do not round away time.
+	instrCarry float64
+
+	Counters stats.Counters
+}
+
+// NewCore builds a core over an MMU, starting in U-mode at cycle 0.
+func NewCore(cfg Config, m *mmu.MMU) *Core {
+	return &Core{Cfg: cfg, MMU: m, Priv: perm.U}
+}
+
+// Compute retires n ALU/branch instructions: time advances by n / BaseIPC.
+func (c *Core) Compute(n uint64) {
+	c.instrCarry += float64(n) / c.Cfg.BaseIPC
+	whole := uint64(c.instrCarry)
+	c.instrCarry -= float64(whole)
+	c.Now += whole
+	c.Counters.Add("cpu.instructions", n)
+}
+
+// Stall advances time by exactly n cycles (fences, fixed hardware
+// sequencing costs).
+func (c *Core) Stall(n uint64) { c.Now += n }
+
+// Access runs one memory access and advances time by the exposed stall.
+// The translation portion (L2-TLB probe, page walk, permission-table walk)
+// is always fully exposed; HideCycles only shave the data-side latency.
+func (c *Core) Access(va addr.VA, k perm.Access, size uint64) (mmu.Result, error) {
+	res, err := c.MMU.Access(va, k, c.Priv, c.Now)
+	if err != nil {
+		return res, err
+	}
+	stall := c.exposedLatency(res)
+	c.Now += stall
+	c.Counters.Inc("cpu.mem_ops")
+	c.Counters.Add("cpu.mem_stall", stall)
+	_ = size
+	return res, nil
+}
+
+// exposedLatency splits an MMU result into translation (exposed) and data
+// (partially hidden) components.
+func (c *Core) exposedLatency(res mmu.Result) uint64 {
+	translation := res.Latency - res.DataLatency
+	data := res.DataLatency
+	if c.Cfg.HideCycles >= data {
+		data = 0
+	} else {
+		data -= c.Cfg.HideCycles
+	}
+	return translation + data
+}
+
+// Load performs a read at va.
+func (c *Core) Load(va addr.VA) (mmu.Result, error) { return c.Access(va, perm.Read, 8) }
+
+// Store performs a write at va.
+func (c *Core) Store(va addr.VA) (mmu.Result, error) { return c.Access(va, perm.Write, 8) }
+
+// Fetch performs an instruction fetch at va.
+func (c *Core) Fetch(va addr.VA) (mmu.Result, error) { return c.Access(va, perm.Fetch, 4) }
+
+// Seconds converts the accumulated cycles to seconds at the core clock.
+func (c *Core) Seconds() float64 {
+	return float64(c.Now) / (c.Cfg.ClockGHz * 1e9)
+}

@@ -1,0 +1,149 @@
+package cpu
+
+import (
+	"hpmp/internal/addr"
+	"hpmp/internal/cache"
+	"hpmp/internal/dram"
+	"hpmp/internal/hpmp"
+	"hpmp/internal/memport"
+	"hpmp/internal/mmu"
+	"hpmp/internal/phys"
+	"hpmp/internal/pmpt"
+)
+
+// Platform bundles the full SoC configuration of one of the two evaluation
+// targets (Table 1).
+type Platform struct {
+	Core Config
+	L1I  cache.Config
+	L1D  cache.Config
+	L2   cache.Config
+	LLC  cache.Config
+	DRAM dram.Config
+	MMU  mmu.Config
+	// PMPTWCacheEntries sizes the PMPTW cache; it is built disabled, as in
+	// the paper's default methodology (§7), and experiments enable it.
+	PMPTWCacheEntries int
+	// PMPEntries sizes the PMP/HPMP bank (0 → the base 16; 64 models the
+	// ePMP extension of §4.3).
+	PMPEntries int
+}
+
+// RocketPlatform is the in-order SoC: 1 GHz, 16 KiB L1s, 512 KiB L2, 4 MB
+// LLC, 32-entry L1 TLBs, 1024-entry L2 TLB, 8-entry PTECache.
+// Capacity structures (caches, TLBs) are scaled down with the scaled
+// workload footprints (~100× below the paper's runs; see DESIGN.md) so
+// that miss *rates* — which expose the extra-dimensional walks — match the
+// paper's regime. Latencies are unscaled.
+func RocketPlatform() Platform {
+	return Platform{
+		Core: Rocket(),
+		L1I:  cache.Config{Name: "l1i", Size: 8 * addr.KiB, Ways: 4, LineSize: 64, Latency: 2},
+		L1D:  cache.Config{Name: "l1d", Size: 8 * addr.KiB, Ways: 4, LineSize: 64, Latency: 2},
+		L2:   cache.Config{Name: "l2", Size: 128 * addr.KiB, Ways: 8, LineSize: 64, Latency: 12},
+		LLC:  cache.Config{Name: "llc", Size: 1 * addr.MiB, Ways: 8, LineSize: 64, Latency: 26},
+		DRAM: dram.Default(),
+		MMU:  rocketMMU(),
+
+		PMPTWCacheEntries: 8,
+	}
+}
+
+func rocketMMU() mmu.Config {
+	c := mmu.DefaultConfig(addr.Sv39)
+	c.WalkerBaseline = 10 // walker invocation + replay on the in-order pipe
+	return c
+}
+
+func boomMMU() mmu.Config {
+	c := mmu.DefaultConfig(addr.Sv39)
+	c.WalkerBaseline = 24 // OoO pipeline flush/replay on a TLB miss
+	return c
+}
+
+// BOOMPlatform is the out-of-order SoC: 3.2 GHz, 32 KiB 8-way L1s, 512 KiB
+// L2, 4 MB LLC; cache latencies are scaled to the faster clock.
+func BOOMPlatform() Platform {
+	return Platform{
+		Core: BOOM(),
+		L1I:  cache.Config{Name: "l1i", Size: 16 * addr.KiB, Ways: 8, LineSize: 64, Latency: 4},
+		L1D:  cache.Config{Name: "l1d", Size: 16 * addr.KiB, Ways: 8, LineSize: 64, Latency: 4},
+		L2:   cache.Config{Name: "l2", Size: 128 * addr.KiB, Ways: 8, LineSize: 64, Latency: 21},
+		LLC:  cache.Config{Name: "llc", Size: 1 * addr.MiB, Ways: 8, LineSize: 64, Latency: 42},
+		DRAM: dram.Default(),
+		MMU:  boomMMU(),
+
+		PMPTWCacheEntries: 8,
+	}
+}
+
+// Machine is one assembled hart: core + MMU + caches + DRAM + HPMP checker
+// over a simulated physical memory. The secure monitor programs Checker;
+// the kernel owns page tables; workloads run on Core.
+type Machine struct {
+	Plat    Platform
+	Mem     *phys.Memory
+	Hier    *cache.Hierarchy
+	Port    *memport.Timed
+	Checker *hpmp.Checker
+	MMU     *mmu.MMU
+	Core    *Core
+	// PMPTWCache is the walker cache instance (disabled by default).
+	PMPTWCache *pmpt.WalkerCache
+}
+
+// NewMachine assembles a machine with memSize bytes of physical memory.
+// The HPMP checker starts with every entry off: until the monitor programs
+// it, S/U accesses are denied — exactly the secure-boot posture.
+func NewMachine(plat Platform, memSize uint64) *Machine {
+	mem := phys.New(memSize)
+	hier := &cache.Hierarchy{
+		L1:         cache.New(plat.L1D),
+		L2:         cache.New(plat.L2),
+		LLC:        cache.New(plat.LLC),
+		Mem:        dram.New(plat.DRAM),
+		ClockRatio: plat.Core.MemClockRatio,
+	}
+	port := &memport.Timed{Hier: hier, Mem: mem}
+	walkerPort := &memport.Timed{Hier: hier, Mem: mem, SkipL1: true}
+	wcache := pmpt.NewWalkerCache(plat.PMPTWCacheEntries)
+	nEntries := plat.PMPEntries
+	if nEntries == 0 {
+		nEntries = 16
+	}
+	checker := hpmp.NewSized(&pmpt.Walker{Port: walkerPort, Cache: wcache}, nEntries)
+	m := mmu.New(plat.MMU, hier, mem, checker)
+	m.Walker.Port = walkerPort
+	core := NewCore(plat.Core, m)
+	return &Machine{
+		Plat:       plat,
+		Mem:        mem,
+		Hier:       hier,
+		Port:       port,
+		Checker:    checker,
+		MMU:        m,
+		Core:       core,
+		PMPTWCache: wcache,
+	}
+}
+
+// NewMachineNoIsolation assembles a machine with physical memory isolation
+// disabled entirely (Fig. 2-a): the MMU has no checker.
+func NewMachineNoIsolation(plat Platform, memSize uint64) *Machine {
+	mach := NewMachine(plat, memSize)
+	mach.MMU = mmu.New(plat.MMU, mach.Hier, mach.Mem, nil)
+	mach.Core = NewCore(plat.Core, mach.MMU)
+	mach.Checker = nil
+	return mach
+}
+
+// ColdReset flushes all caches, TLBs, PWC, PMPTW cache and DRAM row state,
+// recreating the TC1 cold environment deterministically.
+func (m *Machine) ColdReset() {
+	m.Hier.InvalidateAll()
+	m.MMU.FlushTLB()
+	if m.PMPTWCache != nil {
+		m.PMPTWCache.Invalidate()
+	}
+	m.Hier.Mem.Reset()
+}

@@ -1,0 +1,110 @@
+package dram
+
+import (
+	"testing"
+
+	"hpmp/internal/addr"
+)
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	d := New(Default())
+	cfg := d.Config()
+
+	// First access to a closed bank: RCD + CAS.
+	done1 := d.Access(0x1000, 0, false)
+	wantFirst := cfg.TRCD + cfg.TCAS + cfg.TBurst + cfg.TController
+	if done1 != wantFirst {
+		t.Errorf("first access latency = %d, want %d", done1, wantFirst)
+	}
+
+	// Same row, after the bank is free: row hit, CAS only.
+	now := done1
+	done2 := d.Access(0x1040, now, false)
+	wantHit := cfg.TCAS + cfg.TBurst + cfg.TController
+	if done2-now != wantHit {
+		t.Errorf("row hit latency = %d, want %d", done2-now, wantHit)
+	}
+
+	// Different row, same bank: conflict, RP + RCD + CAS.
+	nBanks := uint64(cfg.Ranks * cfg.BanksPerRank)
+	conflictPA := addr.PA(uint64(0x1000) + cfg.RowBytes*nBanks)
+	now = done2
+	done3 := d.Access(conflictPA, now, false)
+	wantConf := cfg.TRP + cfg.TRCD + cfg.TCAS + cfg.TBurst + cfg.TController
+	if done3-now != wantConf {
+		t.Errorf("row conflict latency = %d, want %d", done3-now, wantConf)
+	}
+
+	if d.Counters.Get("dram.row_hit") != 1 || d.Counters.Get("dram.row_conflict") != 1 {
+		t.Errorf("counters wrong: %v", d.Counters.String())
+	}
+}
+
+func TestBankBusySerializes(t *testing.T) {
+	d := New(Default())
+	// Two back-to-back requests to the same bank at the same cycle: the
+	// second must wait for the first.
+	d1 := d.Access(0x0, 0, false)
+	d2 := d.Access(0x40, 0, false) // same row, same bank
+	if d2 <= d1 {
+		t.Errorf("second access (%d) must finish after first (%d)", d2, d1)
+	}
+}
+
+func TestDifferentBanksOverlap(t *testing.T) {
+	d := New(Default())
+	cfg := d.Config()
+	// Addresses one row-chunk apart map to different banks.
+	d1 := d.Access(0x0, 0, false)
+	d2 := d.Access(addr.PA(cfg.RowBytes), 0, false)
+	if d1 != d2 {
+		t.Errorf("independent banks should have equal first-access time: %d vs %d", d1, d2)
+	}
+	if d.Counters.Get("dram.bank_conflict") != 0 {
+		t.Error("no bank conflict expected across banks")
+	}
+}
+
+func TestQueueDepthStalls(t *testing.T) {
+	cfg := Default()
+	cfg.QueueDepth = 2
+	d := New(cfg)
+	// Issue 3 requests at cycle 0 to distinct banks; the third must stall on
+	// the controller queue even though its bank is free.
+	d.Access(0x0, 0, false)
+	d.Access(addr.PA(cfg.RowBytes), 0, false)
+	before := d.Counters.Get("dram.queue_stall")
+	d.Access(addr.PA(2*cfg.RowBytes), 0, false)
+	if d.Counters.Get("dram.queue_stall") != before+1 {
+		t.Error("third concurrent request should hit the queue-depth limit")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(Default())
+	d.Access(0x1000, 0, false)
+	d.Reset()
+	// After reset, the same row must be an "empty" activation again, not a hit.
+	hitsBefore := d.Counters.Get("dram.row_hit")
+	d.Access(0x1000, 0, false)
+	if d.Counters.Get("dram.row_hit") != hitsBefore {
+		t.Error("Reset must close open rows")
+	}
+	if d.Counters.Get("dram.row_empty") != 2 {
+		t.Errorf("want 2 empty activations, got %d", d.Counters.Get("dram.row_empty"))
+	}
+}
+
+func TestStreamingRotatesBanks(t *testing.T) {
+	d := New(Default())
+	cfg := d.Config()
+	seen := make(map[int]bool)
+	for i := uint64(0); i < uint64(cfg.Ranks*cfg.BanksPerRank); i++ {
+		bank, _ := d.bankAndRow(addr.PA(i * cfg.RowBytes))
+		seen[bank] = true
+	}
+	if len(seen) != cfg.Ranks*cfg.BanksPerRank {
+		t.Errorf("row-chunk stride should touch every bank, got %d/%d",
+			len(seen), cfg.Ranks*cfg.BanksPerRank)
+	}
+}

@@ -1,0 +1,61 @@
+package hwcost
+
+import "testing"
+
+func TestTable4Shape(t *testing.T) {
+	// The paper's headline: LUT cost ≈ 1% (0.94% base, 1.18% with H),
+	// FF cost well under 1%, and zero delta on LUTRAM/BRAM/DSP.
+	for _, hyp := range []bool{false, true} {
+		rows := Table4(hyp)
+		byName := map[string]Row{}
+		for _, r := range rows {
+			byName[r.Resource] = r
+		}
+		lut := byName["LUT"].CostPct
+		if lut < 0.3 || lut > 2.5 {
+			t.Errorf("hyp=%v: LUT cost %.2f%% outside the ~1%% band", hyp, lut)
+		}
+		ff := byName["FF"].CostPct
+		if ff <= 0 || ff > 1.5 {
+			t.Errorf("hyp=%v: FF cost %.2f%% outside (0, 1.5%%]", hyp, ff)
+		}
+		for _, zero := range []string{"LUTRAM", "RAMB36", "RAMB18", "DSP"} {
+			if byName[zero].CostPct != 0 {
+				t.Errorf("hyp=%v: %s cost must be zero, got %.2f%%", hyp, zero, byName[zero].CostPct)
+			}
+		}
+		// The hypervisor variant costs more than the plain one.
+	}
+	plain := Table4(false)
+	hyp := Table4(true)
+	if hyp[0].HPMP-hyp[0].Baseline <= plain[0].HPMP-plain[0].Baseline {
+		t.Error("hypervisor variant must add more LUTs than the plain one")
+	}
+}
+
+func TestResourcesMath(t *testing.T) {
+	a := Resources{LUT: 100, FF: 200}
+	b := Resources{LUT: 10, FF: 20, DSP: 1}
+	sum := a.Add(b)
+	if sum.LUT != 110 || sum.FF != 220 || sum.DSP != 1 {
+		t.Errorf("Add wrong: %+v", sum)
+	}
+	pct := sum.PercentOver(a)
+	if pct["LUT"] != 10 || pct["FF"] != 10 {
+		t.Errorf("PercentOver wrong: %v", pct)
+	}
+	if pct["DSP"] != 0 {
+		t.Error("zero-base percent must be 0")
+	}
+}
+
+func TestDeltaScalesWithCacheEntries(t *testing.T) {
+	small := Delta(HPMPConfig{Entries: 16, PMPTWCacheEntries: 8})
+	big := Delta(HPMPConfig{Entries: 16, PMPTWCacheEntries: 32})
+	if big.FF <= small.FF {
+		t.Error("more PMPTW cache entries must cost more FFs")
+	}
+	if big.RAMB36 != 0 || big.DSP != 0 {
+		t.Error("HPMP must not consume BRAM or DSP")
+	}
+}

@@ -1,0 +1,258 @@
+// Package integration holds cross-module scenario tests: full-stack
+// security properties (the reason the isolation hardware exists), exercised
+// through the same pipeline the benchmarks use.
+package integration
+
+import (
+	"testing"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/cpu"
+	"hpmp/internal/iopmp"
+	"hpmp/internal/kernel"
+	"hpmp/internal/merkle"
+	"hpmp/internal/monitor"
+	"hpmp/internal/perm"
+)
+
+const memSize = 512 * addr.MiB
+
+func bootStack(t *testing.T, mode monitor.Mode) (*cpu.Machine, *monitor.Monitor, *kernel.Kernel) {
+	t.Helper()
+	mach := cpu.NewMachine(cpu.RocketPlatform(), memSize)
+	mon, err := monitor.Boot(mach, monitor.DefaultConfig(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(mach, mon, kernel.DefaultConfig(memSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach, mon, k
+}
+
+// TestHostCannotMapEnclaveMemory: a malicious host kernel maps an enclave's
+// physical page into a host process and tries to read it. The page table
+// says yes; HPMP must say no — at the MMU level, after a successful
+// translation.
+func TestHostCannotMapEnclaveMemory(t *testing.T) {
+	for _, mode := range []monitor.Mode{monitor.ModePMPT, monitor.ModeHPMP} {
+		mach, mon, k := bootStack(t, mode)
+		enc, _, err := mon.CreateEnclave("victim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		secret := addr.Range{Base: 0x1000_0000, Size: 64 * addr.KiB}
+		if _, _, err := mon.AddRegion(enc, secret, perm.RWX, monitor.LabelSlow); err != nil {
+			t.Fatal(err)
+		}
+		mach.Mem.Write64(secret.Base, 0x5ec7e7)
+
+		// The (malicious) host kernel forges a mapping straight at the
+		// enclave's frame.
+		p, err := k.Spawn(kernel.Image{Name: "attacker", TextPages: 4, DataPages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SwitchTo(p.PID); err != nil {
+			t.Fatal(err)
+		}
+		evil := addr.VA(0x7000_0000)
+		p.AddVMAAt(evil, 16, perm.RW)
+		if err := p.Table.Map(evil, secret.Base, perm.RW, true); err != nil {
+			t.Fatal(err)
+		}
+		res, err := mach.MMU.Access(evil, perm.Read, perm.U, mach.Core.Now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AccessFault {
+			t.Errorf("%v: forged mapping must access-fault, got %+v", mode, res)
+		}
+		if res.DataRefs != 0 {
+			t.Errorf("%v: the secret must never be fetched", mode)
+		}
+	}
+}
+
+// TestEnclaveCannotReachMonitor: the monitor's own memory is locked even
+// against the running enclave and even against forged mappings.
+func TestEnclaveCannotReachMonitor(t *testing.T) {
+	mach, mon, k := bootStack(t, monitor.ModeHPMP)
+	enc, _, _ := mon.CreateEnclave("curious")
+	region := addr.Range{Base: 0x1000_0000, Size: addr.MiB}
+	mon.AddRegion(enc, region, perm.RWX, monitor.LabelSlow)
+	mon.Switch(enc)
+
+	p, err := k.Spawn(kernel.Image{Name: "probe", TextPages: 4, DataPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SwitchTo(p.PID)
+	evil := addr.VA(0x7100_0000)
+	p.AddVMAAt(evil, 1, perm.RW)
+	if err := p.Table.Map(evil, 0x10_0000 /* inside the monitor region */, perm.RW, true); err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.MMU.Access(evil, perm.Read, perm.U, mach.Core.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AccessFault {
+		t.Errorf("monitor memory must be untouchable: %+v", res)
+	}
+}
+
+// TestWXSeparationViaTable: a domain granted rw- memory cannot execute it
+// even when its own page tables say X. (The monitor demotes part of the
+// host's own view to rw- — the data-only posture for buffers.)
+func TestWXSeparationViaTable(t *testing.T) {
+	mach, mon, k := bootStack(t, monitor.ModeHPMP)
+	data := addr.Range{Base: 0x1000_0000, Size: 64 * addr.KiB}
+	if _, _, err := mon.AddRegion(monitor.HostDomain, data, perm.RW, monitor.LabelSlow); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := k.Spawn(kernel.Image{Name: "wx", TextPages: 4, DataPages: 4})
+	k.SwitchTo(p.PID)
+	va := addr.VA(0x7200_0000)
+	p.AddVMAAt(va, 1, perm.RWX)
+	if err := p.Table.Map(va, data.Base, perm.RWX, true); err != nil {
+		t.Fatal(err)
+	}
+	// Reads pass…
+	res, _ := mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now)
+	if res.Faulted() {
+		t.Fatalf("read through rw- grant should pass: %+v", res)
+	}
+	// …fetch is blocked by the physical permission.
+	res, _ = mach.MMU.Access(va, perm.Fetch, perm.U, mach.Core.Now)
+	if !res.AccessFault {
+		t.Errorf("execute from rw- physical grant must fault: %+v", res)
+	}
+}
+
+// TestInlinedPermRevokedByFlush: after the monitor revokes a region, the
+// mandatory TLB flush ensures no stale inlined permission survives.
+func TestInlinedPermRevokedByFlush(t *testing.T) {
+	mach, mon, k := bootStack(t, monitor.ModeHPMP)
+	p, _ := k.Spawn(kernel.Image{Name: "app", TextPages: 4, DataPages: 4})
+	e, _ := k.NewEnv(p)
+	va := e.P.Heap()
+	if err := e.Store64(va, 42); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := mach.MMU.Translate(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm TLB carries the inlined permission.
+	if _, err := e.Load64(va); err != nil {
+		t.Fatal(err)
+	}
+	// The monitor hands that very frame to a fresh enclave (revoking the
+	// host). AddRegion performs the mandatory flush internally.
+	enc, _, _ := mon.CreateEnclave("taker")
+	frame := addr.Range{Base: pa.PageBase(), Size: addr.PageSize}
+	if _, _, err := mon.AddRegion(enc, frame, perm.RWX, monitor.LabelSlow); err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AccessFault {
+		t.Errorf("revoked frame must fault after the flush: %+v", res)
+	}
+}
+
+// TestDeviceDMAContained: an IOPMP restricts a malicious device to its
+// buffer; transfers into enclave memory abort.
+func TestDeviceDMAContained(t *testing.T) {
+	mach, mon, _ := bootStack(t, monitor.ModeHPMP)
+	enc, _, _ := mon.CreateEnclave("victim")
+	secret := addr.Range{Base: 0x1000_0000, Size: 64 * addr.KiB}
+	mon.AddRegion(enc, secret, perm.RWX, monitor.LabelSlow)
+
+	unit := iopmp.New(mach.Checker.Walker)
+	nicBuf := addr.Range{Base: 0x1800_0000, Size: addr.MiB}
+	unit.AddSegment(nicBuf, []iopmp.SourceID{1}, perm.RW)
+
+	ok, _, err := unit.DMA(1, nicBuf.Base, 4*addr.KiB, perm.Write, 0)
+	if err != nil || !ok {
+		t.Fatalf("legit DMA: %v %v", ok, err)
+	}
+	ok, _, err = unit.DMA(1, secret.Base, 64, perm.Read, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("device must not read enclave memory")
+	}
+}
+
+// TestMeasurementDetectsPreLaunchTampering: the attestation flow catches a
+// host that modifies enclave memory before launch.
+func TestMeasurementDetectsPreLaunchTampering(t *testing.T) {
+	_, mon, _ := bootStack(t, monitor.ModeHPMP)
+	build := func(tamper bool) [32]byte {
+		enc, _, _ := mon.CreateEnclave("measured")
+		region := addr.Range{Base: addr.PA(0x1000_0000 + int(enc)*0x10_0000), Size: 64 * addr.KiB}
+		mon.AddRegion(enc, region, perm.RWX, monitor.LabelSlow)
+		mon.Mach.Mem.Write64(region.Base, 0x60061e)
+		if tamper {
+			mon.Mach.Mem.Write64(region.Base+8, 0xbad)
+		}
+		m, err := mon.Measure(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	clean := build(false)
+	dirty := build(true)
+	if clean == dirty {
+		t.Error("tampered image must measure differently")
+	}
+}
+
+// TestMerkleProtectsSwappedMemory: Penglai's mountable Merkle tree rejects
+// content modified while a subtree was unmounted (e.g., swapped to host
+// storage), end to end with real page content.
+func TestMerkleProtectsSwappedMemory(t *testing.T) {
+	mach, _, k := bootStack(t, monitor.ModeHPMP)
+	p, _ := k.Spawn(kernel.Image{Name: "swap", TextPages: 4, DataPages: 4})
+	e, _ := k.NewEnv(p)
+	va := e.P.Heap()
+	if err := e.StoreBytes(va, []byte("enclave page content")); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := mach.MMU.Translate(va)
+
+	tree, err := merkle.New(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, merkle.BlockSize)
+	mach.Mem.Read(pa.PageBase(), page)
+	if err := tree.Update(0, page); err != nil {
+		t.Fatal(err)
+	}
+	saved := tree.LeafDigests(0)
+	if _, err := tree.Unmount(0); err != nil {
+		t.Fatal(err)
+	}
+	// Host tampers with the "swapped" page while unprotected.
+	mach.Mem.Write64(pa.PageBase(), 0xdead)
+	if err := tree.Mount(0, saved); err != nil {
+		t.Fatal(err) // digests themselves are intact
+	}
+	tampered := make([]byte, merkle.BlockSize)
+	mach.Mem.Read(pa.PageBase(), tampered)
+	ok, err := tree.Verify(0, tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("tampered page must fail verification on swap-in")
+	}
+}

@@ -1,0 +1,167 @@
+package iopmp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/memport"
+	"hpmp/internal/perm"
+	"hpmp/internal/phys"
+	"hpmp/internal/pmpt"
+)
+
+func newUnit(t *testing.T) (*Unit, *pmpt.Table) {
+	t.Helper()
+	mem := phys.New(256 * addr.MiB)
+	alloc := phys.NewFrameAllocator(addr.Range{Base: 0x10_0000, Size: 4 * addr.MiB}, false)
+	tbl, err := pmpt.NewTable(mem, alloc, addr.Range{Base: 0x100_0000, Size: 64 * addr.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := New(&pmpt.Walker{Port: &memport.Flat{Mem: mem, Latency: 5}})
+	return u, tbl
+}
+
+func TestDefaultDeny(t *testing.T) {
+	u, _ := newUnit(t)
+	res, err := u.Check(1, 0x100_0000, 64, perm.Read, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allowed {
+		t.Error("empty IOPMP must deny DMA")
+	}
+	u.DefaultDeny = false
+	res, _ = u.Check(1, 0x100_0000, 64, perm.Read, 0)
+	if !res.Allowed {
+		t.Error("default-allow variant must pass")
+	}
+}
+
+func TestSegmentPerSource(t *testing.T) {
+	u, _ := newUnit(t)
+	nicBuf := addr.Range{Base: 0x200_0000, Size: addr.MiB}
+	u.AddSegment(nicBuf, []SourceID{1}, perm.RW)
+	// Device 1 (the NIC) can DMA into its buffer...
+	if res, _ := u.Check(1, nicBuf.Base, 64, perm.Write, 0); !res.Allowed {
+		t.Error("NIC write to its buffer must pass")
+	}
+	// ...device 2 cannot.
+	if res, _ := u.Check(2, nicBuf.Base, 64, perm.Write, 0); res.Allowed {
+		t.Error("another device must not touch the NIC buffer")
+	}
+	// Nil sources = every device.
+	shared := addr.Range{Base: 0x300_0000, Size: addr.MiB}
+	u.AddSegment(shared, nil, perm.R)
+	if res, _ := u.Check(7, shared.Base, 64, perm.Read, 0); !res.Allowed {
+		t.Error("wildcard-source rule must apply to any device")
+	}
+	if res, _ := u.Check(7, shared.Base, 64, perm.Write, 0); res.Allowed {
+		t.Error("read-only rule must deny writes")
+	}
+}
+
+func TestTableModeDMA(t *testing.T) {
+	u, tbl := newUnit(t)
+	region := tbl.Region()
+	// First page RW, second page none.
+	if err := tbl.SetPagePerm(region.Base, perm.RW); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.AddTable(region, []SourceID{3}, tbl.RootBase()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := u.Check(3, region.Base, 64, perm.Write, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Allowed || res.MemRefs != 2 {
+		t.Errorf("table DMA check: %+v (want allowed, 2 refs)", res)
+	}
+	res, _ = u.Check(3, region.Base+addr.PageSize, 64, perm.Read, 0)
+	if res.Allowed {
+		t.Error("unmapped page must deny DMA")
+	}
+}
+
+func TestPriority(t *testing.T) {
+	u, _ := newUnit(t)
+	r := addr.Range{Base: 0x400_0000, Size: 64 * addr.KiB}
+	u.AddSegment(r, nil, perm.None) // rule 0: deny
+	u.AddSegment(r, nil, perm.RWX)  // rule 1: allow
+	res, _ := u.Check(1, r.Base, 64, perm.Read, 0)
+	if res.Allowed || res.Entry != 0 {
+		t.Errorf("first matching rule must win: %+v", res)
+	}
+}
+
+func TestStraddleDenied(t *testing.T) {
+	u, _ := newUnit(t)
+	r := addr.Range{Base: 0x400_0000, Size: 4 * addr.KiB}
+	u.AddSegment(r, nil, perm.RWX)
+	res, _ := u.Check(1, r.End()-32, 64, perm.Read, 0)
+	if res.Allowed {
+		t.Error("access straddling the rule boundary must deny")
+	}
+}
+
+func TestDMATransfer(t *testing.T) {
+	u, tbl := newUnit(t)
+	region := tbl.Region()
+	// Grant 4 pages then a hole.
+	if err := tbl.SetRangePermPaged(addr.Range{Base: region.Base, Size: 4 * addr.PageSize}, perm.RW); err != nil {
+		t.Fatal(err)
+	}
+	u.AddTable(region, nil, tbl.RootBase())
+
+	ok, lat, err := u.DMA(1, region.Base, 2*addr.PageSize, perm.Write, 0)
+	if err != nil || !ok {
+		t.Fatalf("in-bounds DMA: ok=%v err=%v", ok, err)
+	}
+	if lat == 0 {
+		t.Error("table-checked DMA must cost cycles")
+	}
+	// A transfer running past the granted pages aborts.
+	ok, _, err = u.DMA(1, region.Base+3*addr.PageSize, 2*addr.PageSize, perm.Write, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("DMA crossing into a denied page must abort")
+	}
+	if u.Counters.Get("iopmp.dma_abort") != 1 {
+		t.Error("abort counter not incremented")
+	}
+}
+
+func TestClear(t *testing.T) {
+	u, _ := newUnit(t)
+	u.AddSegment(addr.Range{Base: 0, Size: 4096}, nil, perm.RWX)
+	if u.NumEntries() != 1 {
+		t.Fatal("entry not added")
+	}
+	u.Clear()
+	if u.NumEntries() != 0 {
+		t.Error("Clear must drop every rule")
+	}
+}
+
+// Property: a segment rule for sources {s} never grants any other source.
+func TestSourceIsolationQuick(t *testing.T) {
+	u, _ := newUnit(t)
+	r := addr.Range{Base: 0x500_0000, Size: addr.MiB}
+	u.AddSegment(r, []SourceID{42}, perm.RWX)
+	f := func(srcRaw uint8, off uint16) bool {
+		src := SourceID(srcRaw)
+		pa := r.Base + addr.PA(uint64(off)%(r.Size-64))
+		res, err := u.Check(src, pa, 64, perm.Read, 0)
+		if err != nil {
+			return false
+		}
+		return res.Allowed == (src == 42)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

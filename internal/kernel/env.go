@@ -1,0 +1,183 @@
+package kernel
+
+import (
+	"fmt"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/perm"
+)
+
+// Env is the workload-facing view of one process: functional loads and
+// stores that go through the full simulated pipeline (TLB → walk → HPMP →
+// caches → DRAM) and land in simulated physical memory. Workloads in
+// internal/workloads are ordinary Go algorithms written against this API,
+// so their locality and footprint drive the translation machinery the same
+// way real programs drive real hardware.
+type Env struct {
+	K *Kernel
+	P *Process
+}
+
+// NewEnv returns the environment of a process (switching to it if needed).
+func (k *Kernel) NewEnv(p *Process) (*Env, error) {
+	if k.current != p.PID {
+		if err := k.SwitchTo(p.PID); err != nil {
+			return nil, err
+		}
+	}
+	return &Env{K: k, P: p}, nil
+}
+
+// Compute retires n user instructions.
+func (e *Env) Compute(n uint64) { e.K.Mach.Core.Compute(n) }
+
+// Now returns the current core cycle.
+func (e *Env) Now() uint64 { return e.K.Mach.Core.Now }
+
+// Load64 reads an 8-byte word at va.
+func (e *Env) Load64(va addr.VA) (uint64, error) {
+	pa, err := e.K.access(va, perm.Read, perm.U)
+	if err != nil {
+		return 0, err
+	}
+	return e.K.Mach.Mem.Read64(pa)
+}
+
+// Store64 writes an 8-byte word at va.
+func (e *Env) Store64(va addr.VA, v uint64) error {
+	pa, err := e.K.access(va, perm.Write, perm.U)
+	if err != nil {
+		return err
+	}
+	return e.K.Mach.Mem.Write64(pa, v)
+}
+
+// Load32 reads a 4-byte word at va.
+func (e *Env) Load32(va addr.VA) (uint32, error) {
+	pa, err := e.K.access(va, perm.Read, perm.U)
+	if err != nil {
+		return 0, err
+	}
+	return e.K.Mach.Mem.Read32(pa)
+}
+
+// Store32 writes a 4-byte word at va.
+func (e *Env) Store32(va addr.VA, v uint32) error {
+	pa, err := e.K.access(va, perm.Write, perm.U)
+	if err != nil {
+		return err
+	}
+	return e.K.Mach.Mem.Write32(pa, v)
+}
+
+// Load8 reads one byte.
+func (e *Env) Load8(va addr.VA) (byte, error) {
+	pa, err := e.K.access(va, perm.Read, perm.U)
+	if err != nil {
+		return 0, err
+	}
+	return e.K.Mach.Mem.Read8(pa)
+}
+
+// Store8 writes one byte.
+func (e *Env) Store8(va addr.VA, v byte) error {
+	pa, err := e.K.access(va, perm.Write, perm.U)
+	if err != nil {
+		return err
+	}
+	return e.K.Mach.Mem.Write8(pa, v)
+}
+
+// chunks iterates [va, va+n) in cache-line-bounded pieces, issuing one
+// timed access per line and calling f with the translated PA of each piece.
+func (e *Env) chunks(va addr.VA, n uint64, kind perm.Access, f func(pa addr.PA, size uint64) error) error {
+	const line = 64
+	for n > 0 {
+		pieceEnd := (uint64(va)/line + 1) * line
+		size := pieceEnd - uint64(va)
+		if size > n {
+			size = n
+		}
+		pa, err := e.K.access(va, kind, perm.U)
+		if err != nil {
+			return err
+		}
+		if err := f(pa, size); err != nil {
+			return err
+		}
+		va += addr.VA(size)
+		n -= size
+	}
+	return nil
+}
+
+// LoadBytes copies n bytes starting at va out of simulated memory, one
+// timed line access per 64 bytes.
+func (e *Env) LoadBytes(va addr.VA, n uint64) ([]byte, error) {
+	out := make([]byte, 0, n)
+	err := e.chunks(va, n, perm.Read, func(pa addr.PA, size uint64) error {
+		buf := make([]byte, size)
+		if err := e.K.Mach.Mem.Read(pa, buf); err != nil {
+			return err
+		}
+		out = append(out, buf...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StoreBytes copies data into simulated memory starting at va.
+func (e *Env) StoreBytes(va addr.VA, data []byte) error {
+	i := 0
+	return e.chunks(va, uint64(len(data)), perm.Write, func(pa addr.PA, size uint64) error {
+		if err := e.K.Mach.Mem.Write(pa, data[i:i+int(size)]); err != nil {
+			return err
+		}
+		i += int(size)
+		return nil
+	})
+}
+
+// FetchAt models executing code on the page containing va (one instruction
+// fetch reference).
+func (e *Env) FetchAt(va addr.VA) error {
+	_, err := e.K.access(va, perm.Fetch, perm.U)
+	return err
+}
+
+// Alloc maps pages of fresh anonymous memory and returns its base (like
+// malloc backed by mmap). Memory is demand-faulted on first touch.
+func (e *Env) Alloc(bytes uint64) addr.VA {
+	pages := int(addr.AlignUp(bytes, addr.PageSize) / addr.PageSize)
+	return e.P.MMap(pages, perm.RW)
+}
+
+// PrefaultQuiet maps a range without charging any cycles — the state a
+// snapshot-restored (or forked-from-template) serverless runtime starts
+// with: memory present, translations cold. Only page-table state is
+// created; the core clock does not advance.
+func (e *Env) PrefaultQuiet(va addr.VA, bytes uint64) error {
+	before := e.K.Mach.Core.Now
+	if err := e.Touch(va, bytes); err != nil {
+		return err
+	}
+	e.K.Mach.Core.Now = before
+	return nil
+}
+
+// Touch pre-faults a range without timing (experiment setup).
+func (e *Env) Touch(va addr.VA, bytes uint64) error {
+	for off := uint64(0); off < bytes; off += addr.PageSize {
+		page := (va + addr.VA(off)).PageBase()
+		if _, ok := e.P.pages[page]; ok {
+			continue
+		}
+		if err := e.K.HandleFault(e.P, page, perm.Write); err != nil {
+			return fmt.Errorf("touch %v: %w", page, err)
+		}
+	}
+	return nil
+}

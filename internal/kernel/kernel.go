@@ -1,0 +1,299 @@
+// Package kernel models the operating system the paper modifies (§5
+// "Operating system support"): it owns page tables, demand paging, process
+// lifecycle (fork/exec/exit), and a syscall engine used by the LMBench
+// experiment.
+//
+// The paper's ~700-line Linux change has one essential effect, which this
+// model reproduces exactly: *all page-table pages are allocated from a
+// single contiguous pool*, registered with the secure monitor as one GMS
+// labelled "fast". Under Penglai-HPMP that GMS is mirrored into a segment
+// entry, so every PT-page reference during hardware walks is validated for
+// free. A kernel without the change (ContiguousPT=false) draws PT pages
+// from the general allocator, scattering them across memory where only the
+// permission table can cover them.
+package kernel
+
+import (
+	"fmt"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/cpu"
+	"hpmp/internal/monitor"
+	"hpmp/internal/perm"
+	"hpmp/internal/phys"
+	"hpmp/internal/pt"
+	"hpmp/internal/stats"
+)
+
+// KernelBase is the start of the kernel half of the Sv39 address space
+// (canonical negative addresses).
+const KernelBase addr.VA = 0xffff_ffc0_0000_0000
+
+// Well-known kernel VMAs (sizes in pages).
+const (
+	kernelTextPages = 512 // 2 MiB of kernel code
+	kernelDataPages = 256 // 1 MiB of static data
+	// kernelHeapPages sizes the slab/heap (dentries, inodes, ...). 2 MiB:
+	// LLC-resident (kernel structures are hot in real systems) but far
+	// beyond the scaled TLB reach, so syscall costs are dominated by
+	// translation — the regime Table 3 measures.
+	kernelHeapPages = 512
+)
+
+// Config tunes the kernel model.
+type Config struct {
+	// PTPoolRegion is the contiguous physical region PT pages come from
+	// when ContiguousPT is set. It must be NAPOT for the fast segment.
+	PTPoolRegion addr.Range
+	// UserRegion is the physical pool for user/kernel data frames.
+	UserRegion addr.Range
+	// ContiguousPT enables the paper's OS change. When false, PT pages are
+	// drawn from the (possibly scattered) user allocator.
+	ContiguousPT bool
+	// ScatterFrames hands out user frames in a deterministic shuffle,
+	// modelling a fragmented physical layout (§8.8).
+	ScatterFrames bool
+	// HintRegion is the contiguous, NAPOT physical window the TEE driver
+	// migrates hot application pages into (§9 hot/cold hint ioctls).
+	HintRegion addr.Range
+	// FaultTrapCycles is the fixed trap/handler cost of a page fault.
+	FaultTrapCycles uint64
+	// SyscallTrapCycles is the fixed user↔kernel crossing cost.
+	SyscallTrapCycles uint64
+}
+
+// DefaultConfig places the PT pool at 256 MiB and user memory above it;
+// machines smaller than 768 MiB get a compacted layout. memSize is the
+// machine's physical memory size.
+func DefaultConfig(memSize uint64) Config {
+	ptBase, userBase, hintBase := uint64(0x1000_0000), uint64(0x1800_0000), uint64(0x1400_0000)
+	if memSize < 2*userBase {
+		ptBase, userBase, hintBase = 0x400_0000, 0x800_0000, 0x500_0000
+	}
+	return Config{
+		PTPoolRegion:      addr.Range{Base: addr.PA(ptBase), Size: 16 * addr.MiB},
+		HintRegion:        addr.Range{Base: addr.PA(hintBase), Size: 16 * addr.MiB},
+		UserRegion:        addr.Range{Base: addr.PA(userBase), Size: memSize - userBase},
+		ContiguousPT:      true,
+		FaultTrapCycles:   700,
+		SyscallTrapCycles: 280,
+	}
+}
+
+// PID identifies a process.
+type PID int
+
+// Kernel is the OS instance running in the host domain (or inside an
+// enclave, for enclave runtimes).
+type Kernel struct {
+	Mach *cpu.Machine
+	Mon  *monitor.Monitor // may be nil (no TEE deployed)
+	cfg  Config
+
+	ptAlloc   *phys.FrameAllocator
+	userAlloc *phys.FrameAllocator
+	ptGMS     monitor.GMSID
+
+	// kernelPT is the master table holding the kernel half; its top-level
+	// kernel entries are copied into every process root (as Linux does).
+	kernelPT *pt.Table
+
+	procs     map[PID]*Process
+	nextPID   PID
+	current   PID
+	frameRefs map[addr.PA]*frameRef
+
+	// enclaveCarved tracks how much of the user-region tail has been
+	// handed to enclaves (see enclave.go).
+	enclaveCarved uint64
+
+	// Hot/cold memory-range hints (§9 ioctls).
+	hintRegion  addr.Range
+	hintAlloc   *phys.FrameAllocator
+	hintGMS     monitor.GMSID
+	hints       map[HintID]*hint
+	nextHintID  HintID
+	activeHints int
+
+	rng uint64
+
+	Counters stats.Counters
+}
+
+// New boots the kernel model on a machine. When mon is non-nil the PT pool
+// is registered as a fast GMS (the paper's OS change); user memory belongs
+// to the host domain already.
+func New(mach *cpu.Machine, mon *monitor.Monitor, cfg Config) (*Kernel, error) {
+	k := &Kernel{
+		Mach:      mach,
+		Mon:       mon,
+		cfg:       cfg,
+		procs:     make(map[PID]*Process),
+		frameRefs: make(map[addr.PA]*frameRef),
+		current:   -1,
+		rng:       0x243f6a8885a308d3,
+	}
+	if cfg.ContiguousPT {
+		k.ptAlloc = phys.NewFrameAllocator(cfg.PTPoolRegion, false)
+	}
+	k.hintRegion = cfg.HintRegion
+	if k.hintRegion.Size > 0 {
+		k.hintAlloc = phys.NewFrameAllocator(k.hintRegion, false)
+	}
+	k.userAlloc = phys.NewFrameAllocator(cfg.UserRegion, cfg.ScatterFrames)
+	if !cfg.ContiguousPT {
+		k.ptAlloc = k.userAlloc
+	}
+
+	if mon != nil && cfg.ContiguousPT {
+		// Register the PT pool as a fast GMS — the hint Penglai-HPMP turns
+		// into a segment entry. Under PMP/PMPT modes the label is accepted
+		// but has no fast path.
+		id, _, err := mon.AddRegion(monitor.HostDomain, cfg.PTPoolRegion, perm.RW, monitor.LabelFast)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: registering PT pool GMS: %w", err)
+		}
+		k.ptGMS = id
+	}
+
+	// Build the kernel master table and its VMAs.
+	kpt, err := pt.New(mach.Mem, k.ptAlloc, addr.Sv39)
+	if err != nil {
+		return nil, err
+	}
+	k.kernelPT = kpt
+	layout := []struct {
+		base  addr.VA
+		pages int
+		p     perm.Perm
+	}{
+		{KernelBase, kernelTextPages, perm.RX},
+		{KernelBase + addr.VA(kernelTextPages*addr.PageSize), kernelDataPages, perm.RW},
+		{KernelBase + addr.VA((kernelTextPages+kernelDataPages)*addr.PageSize), kernelHeapPages, perm.RW},
+	}
+	for _, l := range layout {
+		err := kpt.MapRange(l.base, l.pages, l.p, false, k.userAlloc.Alloc)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: mapping kernel VMAs: %w", err)
+		}
+	}
+	return k, nil
+}
+
+// PTPoolGMS returns the GMS id of the contiguous PT pool (valid when a
+// monitor is attached and ContiguousPT is set).
+func (k *Kernel) PTPoolGMS() monitor.GMSID { return k.ptGMS }
+
+// KernelText returns the base VA of kernel code.
+func (k *Kernel) KernelText() addr.VA { return KernelBase }
+
+// KernelData returns the base VA of kernel static data.
+func (k *Kernel) KernelData() addr.VA {
+	return KernelBase + addr.VA(kernelTextPages*addr.PageSize)
+}
+
+// KernelHeap returns the base VA of the kernel heap.
+func (k *Kernel) KernelHeap() addr.VA {
+	return KernelBase + addr.VA((kernelTextPages+kernelDataPages)*addr.PageSize)
+}
+
+// freeFrame returns a data frame to whichever pool owns it (the general
+// user pool or the hint window).
+func (k *Kernel) freeFrame(pa addr.PA) {
+	if k.hintAlloc != nil && k.hintRegion.Contains(pa) {
+		k.hintAlloc.Free(pa)
+		return
+	}
+	k.userAlloc.Free(pa)
+}
+
+// rand returns a deterministic pseudo-random number (xorshift64*).
+func (k *Kernel) rand() uint64 {
+	k.rng ^= k.rng >> 12
+	k.rng ^= k.rng << 25
+	k.rng ^= k.rng >> 27
+	return k.rng * 0x2545f4914f6cdd1d
+}
+
+// shareKernelHalf copies the kernel half's top-level PTEs from the master
+// table into a process root — the Linux trick that makes the kernel mapping
+// shared between all address spaces (no per-process kernel PT pages).
+func (k *Kernel) shareKernelHalf(root addr.PA) error {
+	kroot := k.kernelPT.Root()
+	for idx := 256; idx < 512; idx++ { // VPN[2] ≥ 256: the negative half
+		v, err := k.Mach.Mem.Read64(kroot + addr.PA(idx*8))
+		if err != nil {
+			return err
+		}
+		if v != 0 {
+			if err := k.Mach.Mem.Write64(root+addr.PA(idx*8), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Current returns the running process, or nil.
+func (k *Kernel) Current() *Process { return k.procs[k.current] }
+
+// Process returns a process by pid.
+func (k *Kernel) Process(pid PID) (*Process, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// NumProcesses returns the live process count.
+func (k *Kernel) NumProcesses() int { return len(k.procs) }
+
+// touchKernel performs n dependent kernel-data reads at deterministic
+// pseudo-random heap offsets — the cache/TLB behaviour of chasing kernel
+// structures (dentries, inodes, run queues).
+func (k *Kernel) touchKernel(n int) error {
+	heap := k.KernelHeap()
+	span := uint64(kernelHeapPages * addr.PageSize)
+	for i := 0; i < n; i++ {
+		off := k.rand() % (span - 8)
+		va := heap + addr.VA(off&^7)
+		if _, err := k.access(va, perm.Read, perm.S); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// access runs one access on the core at the given privilege, handling page
+// faults for the current process transparently (demand paging).
+func (k *Kernel) access(va addr.VA, kind perm.Access, priv perm.Priv) (addr.PA, error) {
+	savedPriv := k.Mach.Core.Priv
+	k.Mach.Core.Priv = priv
+	defer func() { k.Mach.Core.Priv = savedPriv }()
+	for attempt := 0; attempt < 3; attempt++ {
+		res, err := k.Mach.Core.Access(va, kind, 8)
+		if err != nil {
+			return 0, err
+		}
+		if res.PageFault {
+			if err := k.HandleFault(k.Current(), va, kind); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if res.ProtFault || res.AccessFault {
+			if kind == perm.Write {
+				// Possible copy-on-write page.
+				handled, err := k.handleCoW(k.Current(), va)
+				if err != nil {
+					return 0, err
+				}
+				if handled {
+					continue
+				}
+			}
+			return 0, fmt.Errorf("kernel: fault at %v (%v, prot=%v access=%v)",
+				va, kind, res.ProtFault, res.AccessFault)
+		}
+		return res.PA, nil
+	}
+	return 0, fmt.Errorf("kernel: access at %v did not settle after fault handling", va)
+}

@@ -1,0 +1,447 @@
+package kernel
+
+import (
+	"fmt"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/perm"
+	"hpmp/internal/pt"
+)
+
+// VMA is one virtual memory area of a process.
+type VMA struct {
+	Base  addr.VA
+	Pages int
+	Perm  perm.Perm
+}
+
+// End returns the first VA past the area.
+func (v VMA) End() addr.VA { return v.Base + addr.VA(v.Pages*addr.PageSize) }
+
+// Contains reports whether va falls inside the area.
+func (v VMA) Contains(va addr.VA) bool { return va >= v.Base && va < v.End() }
+
+// mapping records one materialized page of a process.
+type mapping struct {
+	pa  addr.PA
+	cow bool
+}
+
+// Process is one user process (or serverless function instance).
+type Process struct {
+	PID   PID
+	Name  string
+	Table *pt.Table
+	vmas  []VMA
+	pages map[addr.VA]*mapping
+	// mmapCursor is the next address returned by MMap.
+	mmapCursor addr.VA
+	// Faults counts demand-paging faults taken.
+	Faults uint64
+	// enclave is non-nil for enclave-hosted processes (see enclave.go).
+	enclave *enclaveInfo
+}
+
+// Standard user layout.
+const (
+	userCodeBase      addr.VA = 0x0000_0000_0040_0000 // 4 MiB
+	userHeapBase      addr.VA = 0x0000_0000_1000_0000
+	userStackTop      addr.VA = 0x0000_003f_ffff_f000 // top of Sv39 positive half
+	userMmapBase      addr.VA = 0x0000_0020_0000_0000
+	defaultStackPages         = 32
+)
+
+// Image describes an executable: sizes of its segments in pages.
+type Image struct {
+	Name      string
+	TextPages int
+	DataPages int
+	// HeapPages is the initially reserved (not materialized) heap span.
+	HeapPages int
+}
+
+// frameRefs tracks CoW sharing; it lives on the kernel because frames are a
+// global resource.
+type frameRef struct{ n int }
+
+// Spawn creates a new process from an image. Segments are lazily faulted —
+// the short-lived serverless cost the paper measures comes from exactly
+// these cold-start faults and walks.
+func (k *Kernel) Spawn(img Image) (*Process, error) {
+	tbl, err := pt.New(k.Mach.Mem, k.ptAlloc, addr.Sv39)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: spawn %s: %w", img.Name, err)
+	}
+	if err := k.shareKernelHalf(tbl.Root()); err != nil {
+		return nil, err
+	}
+	pid := k.nextPID
+	k.nextPID++
+	p := &Process{
+		PID:        pid,
+		Name:       img.Name,
+		Table:      tbl,
+		pages:      make(map[addr.VA]*mapping),
+		mmapCursor: userMmapBase,
+	}
+	if img.HeapPages == 0 {
+		img.HeapPages = 4096
+	}
+	p.vmas = []VMA{
+		{Base: userCodeBase, Pages: img.TextPages, Perm: perm.RX},
+		{Base: userCodeBase + addr.VA(img.TextPages*addr.PageSize), Pages: img.DataPages, Perm: perm.RW},
+		{Base: userHeapBase, Pages: img.HeapPages, Perm: perm.RW},
+		{Base: userStackTop - addr.VA(defaultStackPages*addr.PageSize), Pages: defaultStackPages, Perm: perm.RW},
+	}
+	k.procs[pid] = p
+	k.Counters.Inc("kernel.spawn")
+	// Creating a process costs kernel work: PCB setup plus the PT root.
+	k.Mach.Core.Priv = perm.S
+	k.Mach.Core.Compute(1500)
+	k.Mach.Core.Priv = perm.U
+	if k.current < 0 {
+		k.current = pid
+		k.Mach.MMU.SetRoot(p.Table.Root())
+	}
+	return p, nil
+}
+
+// SwitchTo makes pid the running process: satp switch plus the mandatory
+// TLB flush, and — for enclave-hosted processes — the monitor domain
+// switch.
+func (k *Kernel) SwitchTo(pid PID) error {
+	p, ok := k.procs[pid]
+	if !ok {
+		return fmt.Errorf("kernel: no process %d", pid)
+	}
+	if k.Mon != nil && k.Mon.Current() != p.Domain() {
+		if _, err := k.Mon.Switch(p.Domain()); err != nil {
+			return err
+		}
+	}
+	k.current = pid
+	k.Mach.MMU.SetRoot(p.Table.Root())
+	k.Mach.MMU.FlushTLB()
+	k.Mach.Core.Compute(900) // scheduler + register save/restore
+	k.Counters.Inc("kernel.ctx_switch")
+	return nil
+}
+
+// MMap reserves pages of anonymous memory in the process (lazily faulted)
+// and returns the base address.
+func (p *Process) MMap(pages int, pm perm.Perm) addr.VA {
+	base := p.mmapCursor
+	p.mmapCursor += addr.VA(pages * addr.PageSize)
+	p.vmas = append(p.vmas, VMA{Base: base, Pages: pages, Perm: pm})
+	return base
+}
+
+// Heap returns the base of the process heap VMA.
+func (p *Process) Heap() addr.VA { return userHeapBase }
+
+// Code returns the base of the text VMA.
+func (p *Process) Code() addr.VA { return userCodeBase }
+
+// Stack returns the lowest stack address.
+func (p *Process) Stack() addr.VA {
+	return userStackTop - addr.VA(defaultStackPages*addr.PageSize)
+}
+
+// MUnmap removes the VMA starting exactly at base (munmap semantics for
+// whole mappings): materialized frames are freed, PTEs cleared, and the
+// affected translations flushed.
+func (k *Kernel) MUnmap(p *Process, base addr.VA) error {
+	idx := -1
+	for i, v := range p.vmas {
+		if v.Base == base {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("kernel: no VMA at %v", base)
+	}
+	vma := p.vmas[idx]
+	for i := 0; i < vma.Pages; i++ {
+		page := vma.Base + addr.VA(i*addr.PageSize)
+		mp, ok := p.pages[page]
+		if !ok {
+			continue
+		}
+		if ref := k.frameRefs[mp.pa]; ref != nil {
+			ref.n--
+			if ref.n > 0 {
+				delete(p.pages, page)
+				p.Table.Unmap(page)
+				continue
+			}
+			delete(k.frameRefs, mp.pa)
+		}
+		k.freeFrame(mp.pa)
+		delete(p.pages, page)
+		if _, err := p.Table.Unmap(page); err != nil {
+			return err
+		}
+		k.Mach.MMU.FlushVA(page)
+	}
+	p.vmas = append(p.vmas[:idx], p.vmas[idx+1:]...)
+	k.Mach.Core.Compute(600) // the syscall itself
+	k.Counters.Inc("kernel.munmap")
+	return nil
+}
+
+// AddVMAAt installs an anonymous VMA at an explicit address (sparse
+// layouts for the fragmentation experiments; real mmap with MAP_FIXED).
+func (p *Process) AddVMAAt(base addr.VA, pages int, pm perm.Perm) {
+	p.vmas = append(p.vmas, VMA{Base: base.PageBase(), Pages: pages, Perm: pm})
+}
+
+// VMAFor finds the VMA containing va.
+func (p *Process) VMAFor(va addr.VA) (VMA, bool) { return p.vmaFor(va) }
+
+// vmaFor finds the VMA containing va.
+func (p *Process) vmaFor(va addr.VA) (VMA, bool) {
+	for _, v := range p.vmas {
+		if v.Contains(va) {
+			return v, true
+		}
+	}
+	return VMA{}, false
+}
+
+// MappedPages returns how many pages the process has materialized.
+func (p *Process) MappedPages() int { return len(p.pages) }
+
+// HandleFault services a demand-paging fault at va for process p: allocate
+// a zeroed frame, install the PTE (a timed write to the PT page), and
+// charge the trap cost.
+func (k *Kernel) HandleFault(p *Process, va addr.VA, kind perm.Access) error {
+	if p == nil {
+		return fmt.Errorf("kernel: fault at %v with no current process", va)
+	}
+	vma, ok := p.vmaFor(va)
+	if !ok {
+		return fmt.Errorf("kernel: segfault at %v in %s", va, p.Name)
+	}
+	page := va.PageBase()
+	if _, mapped := p.pages[page]; mapped {
+		return fmt.Errorf("kernel: fault on already-mapped page %v", page)
+	}
+	alloc := k.userAlloc
+	if p.enclave != nil {
+		alloc = p.enclave.userAlloc
+	}
+	pa, err := alloc.Alloc()
+	if err != nil {
+		return fmt.Errorf("kernel: out of memory faulting %v: %w", va, err)
+	}
+	if err := k.Mach.Mem.ZeroPage(pa); err != nil {
+		return err
+	}
+	if err := p.Table.Map(page, pa, vma.Perm, true); err != nil {
+		return err
+	}
+	p.pages[page] = &mapping{pa: pa}
+	p.Faults++
+	k.Counters.Inc("kernel.page_fault")
+
+	// Costs: trap + handler compute + the PTE store (timed through the
+	// hierarchy) + zeroing the new frame (streamed stores).
+	k.Mach.Core.Stall(k.cfg.FaultTrapCycles)
+	steps, err := p.Table.WalkPath(page)
+	if err == nil && len(steps) > 0 {
+		last := steps[len(steps)-1]
+		r := k.Mach.Hier.Access(last.PTEAddr, k.Mach.Core.Now, true)
+		k.Mach.Core.Stall(r.Latency)
+	}
+	k.Mach.Core.Stall(180) // page zeroing with cache-bypassing stores
+	return nil
+}
+
+// handleCoW resolves a write fault on a copy-on-write page. It reports
+// whether the fault was a CoW fault it handled.
+func (k *Kernel) handleCoW(p *Process, va addr.VA) (bool, error) {
+	if p == nil {
+		return false, nil
+	}
+	page := va.PageBase()
+	mp, ok := p.pages[page]
+	if !ok || !mp.cow {
+		return false, nil
+	}
+	vma, ok := p.vmaFor(va)
+	if !ok || !vma.Perm.Has(perm.W) {
+		return false, nil
+	}
+	ref := k.frameRefs[mp.pa]
+	if ref != nil && ref.n > 1 {
+		// Copy the page into a fresh frame.
+		newPA, err := k.userAlloc.Alloc()
+		if err != nil {
+			return false, err
+		}
+		buf := make([]byte, addr.PageSize)
+		if err := k.Mach.Mem.Read(mp.pa, buf); err != nil {
+			return false, err
+		}
+		if err := k.Mach.Mem.Write(newPA, buf); err != nil {
+			return false, err
+		}
+		ref.n--
+		mp.pa = newPA
+		k.Mach.Core.Stall(k.cfg.FaultTrapCycles + 350) // trap + page copy
+	} else {
+		k.Mach.Core.Stall(k.cfg.FaultTrapCycles)
+	}
+	mp.cow = false
+	if err := p.Table.Map(page, mp.pa, vma.Perm, true); err != nil {
+		return false, err
+	}
+	k.Mach.MMU.FlushVA(page)
+	k.Counters.Inc("kernel.cow_fault")
+	return true, nil
+}
+
+// Fork clones the current process: the child shares all frames
+// copy-on-write, and every mapped page costs a PT copy touch — the reason
+// fork dominates Table 3.
+func (k *Kernel) Fork(parent *Process) (*Process, error) {
+	if parent.enclave != nil {
+		// Enclave runtimes in this model are single-process (as Penglai's
+		// enclave SDK is); forking would mix host- and enclave-owned
+		// frames.
+		return nil, fmt.Errorf("kernel: enclave process %d cannot fork", parent.PID)
+	}
+	tbl, err := pt.New(k.Mach.Mem, k.ptAlloc, addr.Sv39)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.shareKernelHalf(tbl.Root()); err != nil {
+		return nil, err
+	}
+	pid := k.nextPID
+	k.nextPID++
+	child := &Process{
+		PID:        pid,
+		Name:       parent.Name + "+",
+		Table:      tbl,
+		vmas:       append([]VMA(nil), parent.vmas...),
+		pages:      make(map[addr.VA]*mapping),
+		mmapCursor: parent.mmapCursor,
+	}
+	k.Mach.Core.Priv = perm.S
+	k.Mach.Core.Compute(4000) // task_struct, mm_struct, fd table, ...
+	for va, mp := range parent.pages {
+		vma, ok := parent.vmaFor(va)
+		if !ok {
+			continue
+		}
+		// Downgrade writable mappings to read-only in both (CoW arm).
+		childPerm := vma.Perm
+		if childPerm.Has(perm.W) {
+			childPerm &^= perm.W
+			if !mp.cow {
+				if err := parent.Table.Protect(va, childPerm); err != nil {
+					return nil, err
+				}
+				mp.cow = true
+			}
+		}
+		if err := child.Table.Map(va, mp.pa, childPerm, true); err != nil {
+			return nil, err
+		}
+		child.pages[va] = &mapping{pa: mp.pa, cow: mp.cow}
+		ref := k.frameRefs[mp.pa]
+		if ref == nil {
+			ref = &frameRef{n: 1}
+			k.frameRefs[mp.pa] = ref
+		}
+		ref.n++
+		// Timed PT touches: read the parent PTE, write the child PTE.
+		steps, err := child.Table.WalkPath(va)
+		if err == nil && len(steps) > 0 {
+			r := k.Mach.Hier.Access(steps[len(steps)-1].PTEAddr, k.Mach.Core.Now, true)
+			k.Mach.Core.Stall(r.Latency)
+		}
+		// Per-page mm bookkeeping (vma/rmap/page structs) in kernel
+		// memory — mode-sensitive kernel accesses, as in real fork.
+		if err := k.touchKernel(2); err != nil {
+			return nil, err
+		}
+	}
+	k.Mach.Core.Priv = perm.U
+	// The parent's downgraded mappings require a TLB flush.
+	k.Mach.MMU.FlushTLB()
+	k.procs[pid] = child
+	k.Counters.Inc("kernel.fork")
+	return child, nil
+}
+
+// Exit tears a process down, returning frames and PT pages. Enclave
+// processes must use ExitEnclave (their frames belong to the enclave's
+// donated block, not the kernel pools).
+func (k *Kernel) Exit(pid PID) error {
+	p, ok := k.procs[pid]
+	if !ok {
+		return fmt.Errorf("kernel: no process %d", pid)
+	}
+	if p.enclave != nil {
+		return fmt.Errorf("kernel: process %d is enclave-hosted; use ExitEnclave", pid)
+	}
+	k.Mach.Core.Priv = perm.S
+	k.Mach.Core.Compute(2500)
+	k.Mach.Core.Priv = perm.U
+	for _, mp := range p.pages {
+		if ref := k.frameRefs[mp.pa]; ref != nil {
+			ref.n--
+			if ref.n > 0 {
+				continue
+			}
+			delete(k.frameRefs, mp.pa)
+		}
+		k.freeFrame(mp.pa)
+	}
+	for _, ptPage := range p.Table.PTPages() {
+		k.ptAlloc.Free(ptPage)
+	}
+	delete(k.procs, pid)
+	if k.current == pid {
+		k.current = -1
+	}
+	k.Counters.Inc("kernel.exit")
+	return nil
+}
+
+// Exec replaces the current process image (fork+exec pattern): the old
+// user mappings are dropped and fresh VMAs installed.
+func (k *Kernel) Exec(p *Process, img Image) error {
+	k.Mach.Core.Priv = perm.S
+	k.Mach.Core.Compute(6000) // ELF load path
+	k.Mach.Core.Priv = perm.U
+	for va, mp := range p.pages {
+		if ref := k.frameRefs[mp.pa]; ref != nil {
+			ref.n--
+			if ref.n == 0 {
+				delete(k.frameRefs, mp.pa)
+				k.freeFrame(mp.pa)
+			}
+		} else {
+			k.freeFrame(mp.pa)
+		}
+		p.Table.Unmap(va)
+		delete(p.pages, va)
+	}
+	if img.HeapPages == 0 {
+		img.HeapPages = 4096
+	}
+	p.Name = img.Name
+	p.vmas = []VMA{
+		{Base: userCodeBase, Pages: img.TextPages, Perm: perm.RX},
+		{Base: userCodeBase + addr.VA(img.TextPages*addr.PageSize), Pages: img.DataPages, Perm: perm.RW},
+		{Base: userHeapBase, Pages: img.HeapPages, Perm: perm.RW},
+		{Base: userStackTop - addr.VA(defaultStackPages*addr.PageSize), Pages: defaultStackPages, Perm: perm.RW},
+	}
+	k.Mach.MMU.FlushTLB()
+	k.Counters.Inc("kernel.exec")
+	return nil
+}

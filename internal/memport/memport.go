@@ -1,0 +1,77 @@
+// Package memport defines the timed memory port used by the hardware
+// walkers (page-table walker, PMP Table walker): a functional 64-bit
+// load/store on simulated physical memory that also reports how many core
+// cycles the reference cost through the cache hierarchy.
+package memport
+
+import (
+	"hpmp/internal/addr"
+	"hpmp/internal/cache"
+	"hpmp/internal/phys"
+)
+
+// Port is the walker-facing view of the memory system.
+type Port interface {
+	// Read64 returns the 8-byte word at pa plus the access latency in core
+	// cycles, issuing at core-cycle now.
+	Read64(pa addr.PA, now uint64) (val uint64, latency uint64, err error)
+	// Write64 stores an 8-byte word and returns the access latency.
+	Write64(pa addr.PA, val uint64, now uint64) (latency uint64, err error)
+}
+
+// Timed routes accesses through a cache hierarchy for timing and a phys
+// memory for data. It is what the real simulator composes. With SkipL1 set
+// it behaves like a hardware walker port: requests go to the L2 and below,
+// never allocating in the L1 D-cache.
+type Timed struct {
+	Hier   *cache.Hierarchy
+	Mem    *phys.Memory
+	SkipL1 bool
+}
+
+// Read64 implements Port.
+func (t *Timed) Read64(pa addr.PA, now uint64) (uint64, uint64, error) {
+	v, err := t.Mem.Read64(pa)
+	if err != nil {
+		return 0, 0, err
+	}
+	var r cache.AccessResult
+	if t.SkipL1 {
+		r = t.Hier.AccessNoL1(pa, now, false)
+	} else {
+		r = t.Hier.Access(pa, now, false)
+	}
+	return v, r.Latency, nil
+}
+
+// Write64 implements Port.
+func (t *Timed) Write64(pa addr.PA, val uint64, now uint64) (uint64, error) {
+	if err := t.Mem.Write64(pa, val); err != nil {
+		return 0, err
+	}
+	var r cache.AccessResult
+	if t.SkipL1 {
+		r = t.Hier.AccessNoL1(pa, now, true)
+	} else {
+		r = t.Hier.Access(pa, now, true)
+	}
+	return r.Latency, nil
+}
+
+// Flat is a fixed-latency port over a phys memory, for unit tests that do
+// not care about cache behaviour.
+type Flat struct {
+	Mem     *phys.Memory
+	Latency uint64
+}
+
+// Read64 implements Port.
+func (f *Flat) Read64(pa addr.PA, _ uint64) (uint64, uint64, error) {
+	v, err := f.Mem.Read64(pa)
+	return v, f.Latency, err
+}
+
+// Write64 implements Port.
+func (f *Flat) Write64(pa addr.PA, val uint64, _ uint64) (uint64, error) {
+	return f.Latency, f.Mem.Write64(pa, val)
+}

@@ -1,0 +1,217 @@
+// Package merkle implements the mountable Merkle tree Penglai uses for
+// physical-memory integrity protection (paper §5 "It employs encryption and
+// merkle tree to defend against physical memory attacks", and the
+// "Mountable Merkle Tree" component of Fig. 7).
+//
+// The tree hashes fixed-size blocks (4 KiB pages) into a binary tree of
+// SHA-256 digests. "Mountable" means sub-trees can be unmounted (their root
+// digest retained, their interior nodes discarded) and remounted later after
+// re-verification — the mechanism Penglai uses to protect far more memory
+// than on-chip storage could hold.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockSize is the protected granule (one page).
+const BlockSize = 4096
+
+// Digest is a SHA-256 hash.
+type Digest [sha256.Size]byte
+
+// hashLeaf domain-separates leaf hashes from interior hashes to prevent
+// second-preimage splicing.
+func hashLeaf(index uint64, data []byte) Digest {
+	h := sha256.New()
+	var pre [9]byte
+	pre[0] = 0x00
+	binary.LittleEndian.PutUint64(pre[1:], index)
+	h.Write(pre[:])
+	h.Write(data)
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+func hashInterior(l, r Digest) Digest {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// Tree is a Merkle tree over n fixed-size blocks. Interior levels are stored
+// densely; level 0 is the leaves. Unmounted subtrees drop their interior
+// storage but keep the subtree root inside the parent level.
+type Tree struct {
+	nBlocks int
+	levels  [][]Digest // levels[0] = leaves ... levels[h] = [root]
+	mounted []bool     // per top-level subtree (see SubtreeSpan)
+	// subtreeHeight is the level treated as "mount units": subtrees of
+	// 2^subtreeHeight leaves can be unmounted independently.
+	subtreeHeight int
+}
+
+// New builds a tree over nBlocks zero-initialized blocks. subtreeSpan is the
+// number of leaves per mountable subtree (a power of two ≥ 1).
+func New(nBlocks, subtreeSpan int) (*Tree, error) {
+	if nBlocks <= 0 {
+		return nil, fmt.Errorf("merkle: need at least one block")
+	}
+	if subtreeSpan <= 0 || subtreeSpan&(subtreeSpan-1) != 0 {
+		return nil, fmt.Errorf("merkle: subtree span %d must be a power of two", subtreeSpan)
+	}
+	// Round leaf count up to a power of two for a perfect tree.
+	n := 1
+	for n < nBlocks {
+		n <<= 1
+	}
+	if subtreeSpan > n {
+		subtreeSpan = n
+	}
+	t := &Tree{nBlocks: nBlocks}
+	for subtreeSpan>>t.subtreeHeight > 1 {
+		t.subtreeHeight++
+	}
+	zero := hashLeaf(0, make([]byte, BlockSize))
+	_ = zero
+	// Build levels bottom-up; leaves are hashed with their index, so they
+	// are not all identical.
+	leaves := make([]Digest, n)
+	empty := make([]byte, BlockSize)
+	for i := range leaves {
+		leaves[i] = hashLeaf(uint64(i), empty)
+	}
+	t.levels = append(t.levels, leaves)
+	for len(t.levels[len(t.levels)-1]) > 1 {
+		prev := t.levels[len(t.levels)-1]
+		next := make([]Digest, len(prev)/2)
+		for i := range next {
+			next[i] = hashInterior(prev[2*i], prev[2*i+1])
+		}
+		t.levels = append(t.levels, next)
+	}
+	t.mounted = make([]bool, n/subtreeSpan)
+	for i := range t.mounted {
+		t.mounted[i] = true
+	}
+	return t, nil
+}
+
+// NumBlocks returns the number of protected blocks.
+func (t *Tree) NumBlocks() int { return t.nBlocks }
+
+// Root returns the tree root digest.
+func (t *Tree) Root() Digest { return t.levels[len(t.levels)-1][0] }
+
+// SubtreeSpan returns the number of leaves per mountable subtree.
+func (t *Tree) SubtreeSpan() int { return 1 << t.subtreeHeight }
+
+func (t *Tree) subtreeOf(block int) int { return block >> t.subtreeHeight }
+
+// Update recomputes the path from block upward after the block's content
+// changed. It fails if the block's subtree is unmounted.
+func (t *Tree) Update(block int, data []byte) error {
+	if block < 0 || block >= t.nBlocks {
+		return fmt.Errorf("merkle: block %d out of range", block)
+	}
+	if len(data) != BlockSize {
+		return fmt.Errorf("merkle: block data must be %d bytes", BlockSize)
+	}
+	if !t.mounted[t.subtreeOf(block)] {
+		return fmt.Errorf("merkle: subtree %d is unmounted", t.subtreeOf(block))
+	}
+	t.levels[0][block] = hashLeaf(uint64(block), data)
+	idx := block
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		idx /= 2
+		t.levels[lvl+1][idx] = hashInterior(t.levels[lvl][2*idx], t.levels[lvl][2*idx+1])
+	}
+	return nil
+}
+
+// Verify checks that data matches the recorded digest for block.
+func (t *Tree) Verify(block int, data []byte) (bool, error) {
+	if block < 0 || block >= t.nBlocks {
+		return false, fmt.Errorf("merkle: block %d out of range", block)
+	}
+	if !t.mounted[t.subtreeOf(block)] {
+		return false, fmt.Errorf("merkle: subtree %d is unmounted", t.subtreeOf(block))
+	}
+	if len(data) != BlockSize {
+		return false, fmt.Errorf("merkle: block data must be %d bytes", BlockSize)
+	}
+	want := t.levels[0][block]
+	return hashLeaf(uint64(block), data) == want, nil
+}
+
+// Unmount drops a subtree's leaf digests, retaining only its root (which
+// stays folded into the upper levels). Returns the subtree root so a caller
+// can persist it.
+func (t *Tree) Unmount(subtree int) (Digest, error) {
+	if subtree < 0 || subtree >= len(t.mounted) {
+		return Digest{}, fmt.Errorf("merkle: subtree %d out of range", subtree)
+	}
+	if !t.mounted[subtree] {
+		return Digest{}, fmt.Errorf("merkle: subtree %d already unmounted", subtree)
+	}
+	t.mounted[subtree] = false
+	return t.subtreeRoot(subtree), nil
+}
+
+// Mount re-attaches a subtree by verifying the candidate leaf digests
+// against the retained subtree root.
+func (t *Tree) Mount(subtree int, leaves []Digest) error {
+	if subtree < 0 || subtree >= len(t.mounted) {
+		return fmt.Errorf("merkle: subtree %d out of range", subtree)
+	}
+	if t.mounted[subtree] {
+		return fmt.Errorf("merkle: subtree %d already mounted", subtree)
+	}
+	span := t.SubtreeSpan()
+	if len(leaves) != span {
+		return fmt.Errorf("merkle: want %d leaf digests, got %d", span, len(leaves))
+	}
+	// Recompute the candidate subtree root.
+	cur := make([]Digest, span)
+	copy(cur, leaves)
+	for len(cur) > 1 {
+		next := make([]Digest, len(cur)/2)
+		for i := range next {
+			next[i] = hashInterior(cur[2*i], cur[2*i+1])
+		}
+		cur = next
+	}
+	if cur[0] != t.subtreeRoot(subtree) {
+		return fmt.Errorf("merkle: subtree %d root mismatch — tampered while unmounted", subtree)
+	}
+	copy(t.levels[0][subtree*span:(subtree+1)*span], leaves)
+	t.mounted[subtree] = true
+	return nil
+}
+
+// Mounted reports whether the subtree is currently mounted.
+func (t *Tree) Mounted(subtree int) bool { return t.mounted[subtree] }
+
+// LeafDigests returns a copy of the subtree's current leaf digests (what a
+// caller must persist before Unmount to Mount later).
+func (t *Tree) LeafDigests(subtree int) []Digest {
+	span := t.SubtreeSpan()
+	out := make([]Digest, span)
+	copy(out, t.levels[0][subtree*span:(subtree+1)*span])
+	return out
+}
+
+// subtreeRoot returns the digest at the subtree's apex level.
+func (t *Tree) subtreeRoot(subtree int) Digest {
+	return t.levels[t.subtreeHeight][subtree]
+}
+
+// HashBlock exposes the leaf hash for external persistence.
+func HashBlock(index uint64, data []byte) Digest { return hashLeaf(index, data) }

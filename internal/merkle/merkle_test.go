@@ -1,0 +1,213 @@
+package merkle
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func block(fill byte) []byte {
+	b := make([]byte, BlockSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("zero blocks must fail")
+	}
+	if _, err := New(8, 3); err == nil {
+		t.Error("non-power-of-two span must fail")
+	}
+	tr, err := New(10, 4) // rounds to 16 leaves
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumBlocks() != 10 || tr.SubtreeSpan() != 4 {
+		t.Errorf("geometry: %d blocks, span %d", tr.NumBlocks(), tr.SubtreeSpan())
+	}
+}
+
+func TestUpdateVerify(t *testing.T) {
+	tr, _ := New(8, 4)
+	data := block(0xab)
+	if err := tr.Update(3, data); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := tr.Verify(3, data)
+	if err != nil || !ok {
+		t.Errorf("verify of written data: %v %v", ok, err)
+	}
+	ok, _ = tr.Verify(3, block(0xac))
+	if ok {
+		t.Error("verify of wrong data must fail")
+	}
+	// Untouched block still verifies as zero.
+	ok, _ = tr.Verify(0, block(0))
+	if !ok {
+		t.Error("zero block must verify initially")
+	}
+}
+
+func TestRootChangesOnUpdate(t *testing.T) {
+	tr, _ := New(8, 4)
+	r0 := tr.Root()
+	tr.Update(5, block(1))
+	r1 := tr.Root()
+	if r0 == r1 {
+		t.Error("root must change after an update")
+	}
+	// Same content → same root (determinism).
+	tr2, _ := New(8, 4)
+	tr2.Update(5, block(1))
+	if tr2.Root() != r1 {
+		t.Error("identical trees must have identical roots")
+	}
+}
+
+func TestLeafIndexBinding(t *testing.T) {
+	// The same bytes at different indices must hash differently (splice
+	// protection).
+	if HashBlock(0, block(7)) == HashBlock(1, block(7)) {
+		t.Error("leaf hash must bind the block index")
+	}
+}
+
+func TestUnmountMountRoundTrip(t *testing.T) {
+	tr, _ := New(16, 4)
+	tr.Update(4, block(0x11))
+	tr.Update(5, block(0x22))
+	saved := tr.LeafDigests(1) // subtree 1 = blocks 4..7
+	rootBefore := tr.Root()
+
+	if _, err := tr.Unmount(1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Mounted(1) {
+		t.Fatal("subtree should be unmounted")
+	}
+	// Operations on an unmounted subtree fail.
+	if err := tr.Update(4, block(9)); err == nil {
+		t.Error("update of unmounted subtree must fail")
+	}
+	if _, err := tr.Verify(5, block(0x22)); err == nil {
+		t.Error("verify of unmounted subtree must fail")
+	}
+	// Other subtrees still work.
+	if err := tr.Update(0, block(3)); err != nil {
+		t.Errorf("mounted subtree must keep working: %v", err)
+	}
+
+	// Remount with the honest digests.
+	if err := tr.Mount(1, saved); err != nil {
+		t.Fatalf("honest remount must succeed: %v", err)
+	}
+	ok, err := tr.Verify(5, block(0x22))
+	if err != nil || !ok {
+		t.Error("data must verify after remount")
+	}
+	_ = rootBefore
+}
+
+func TestMountDetectsTampering(t *testing.T) {
+	tr, _ := New(16, 4)
+	tr.Update(4, block(0x11))
+	saved := tr.LeafDigests(1)
+	tr.Unmount(1)
+	// Attacker swaps a digest while the subtree is offline.
+	saved[0][0] ^= 0xff
+	if err := tr.Mount(1, saved); err == nil {
+		t.Error("tampered remount must be rejected")
+	}
+	// And the honest set still works afterwards.
+	saved[0][0] ^= 0xff
+	if err := tr.Mount(1, saved); err != nil {
+		t.Errorf("honest remount after rejection: %v", err)
+	}
+}
+
+func TestDoubleUnmountAndMountErrors(t *testing.T) {
+	tr, _ := New(8, 4)
+	if _, err := tr.Unmount(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Unmount(0); err == nil {
+		t.Error("double unmount must fail")
+	}
+	leaves := make([]Digest, 4)
+	if err := tr.Mount(1, leaves); err == nil {
+		t.Error("mounting a mounted subtree must fail")
+	}
+	if _, err := tr.Unmount(99); err == nil {
+		t.Error("out-of-range subtree must fail")
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	tr, _ := New(4, 2)
+	if err := tr.Update(-1, block(0)); err == nil {
+		t.Error("negative block must fail")
+	}
+	if err := tr.Update(4, block(0)); err == nil {
+		t.Error("out-of-range block must fail")
+	}
+	if err := tr.Update(0, []byte{1, 2, 3}); err == nil {
+		t.Error("short data must fail")
+	}
+}
+
+// Property: Update then Verify succeeds for arbitrary content, and Verify
+// of different content fails.
+func TestUpdateVerifyQuick(t *testing.T) {
+	tr, _ := New(32, 8)
+	f := func(blk uint8, fill byte, wrongFill byte) bool {
+		b := int(blk) % 32
+		data := block(fill)
+		if err := tr.Update(b, data); err != nil {
+			return false
+		}
+		ok, err := tr.Verify(b, data)
+		if err != nil || !ok {
+			return false
+		}
+		if wrongFill == fill {
+			return true
+		}
+		ok, err = tr.Verify(b, block(wrongFill))
+		return err == nil && !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after unmount+honest mount, the root is unchanged.
+func TestRemountPreservesRootQuick(t *testing.T) {
+	f := func(blk uint8, fill byte) bool {
+		tr, _ := New(16, 4)
+		tr.Update(int(blk)%16, block(fill))
+		root := tr.Root()
+		sub := int(blk) % 4
+		saved := tr.LeafDigests(sub)
+		if _, err := tr.Unmount(sub); err != nil {
+			return false
+		}
+		if err := tr.Mount(sub, saved); err != nil {
+			return false
+		}
+		return tr.Root() == root
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigestsAreDistinct(t *testing.T) {
+	a := HashBlock(0, block(1))
+	b := HashBlock(0, block(2))
+	if bytes.Equal(a[:], b[:]) {
+		t.Error("distinct blocks must hash differently")
+	}
+}

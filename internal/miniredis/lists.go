@@ -1,0 +1,214 @@
+package miniredis
+
+import (
+	"fmt"
+
+	"hpmp/internal/addr"
+)
+
+// List object layout (words): [0] head node VA, [1] tail node VA, [2] len.
+// Node layout: [0] next VA, [1] prev VA, [2] value blob VA.
+
+const (
+	listHead  = 0
+	listTail  = 1
+	listLen   = 2
+	listWords = 3
+
+	nodeNext  = 0
+	nodePrev  = 1
+	nodeVal   = 2
+	nodeWords = 3
+)
+
+// listObj returns the list object VA for key, creating it when asked.
+func (s *Server) listObj(key string, create bool) (addr.VA, error) {
+	if !create {
+		eva, err := s.findEntry(key)
+		if err != nil || eva == 0 {
+			return 0, err
+		}
+		vp, err := s.word(eva, entVal)
+		return addr.VA(vp), err
+	}
+	eva, created, err := s.lookupOrCreate(key, typeList)
+	if err != nil {
+		return 0, err
+	}
+	if created {
+		obj, err := s.alloc(listWords * 8)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < listWords; i++ {
+			if err := s.setWord(obj, i, 0); err != nil {
+				return 0, err
+			}
+		}
+		if err := s.setWord(eva, entVal, uint64(obj)); err != nil {
+			return 0, err
+		}
+		return obj, nil
+	}
+	vp, err := s.word(eva, entVal)
+	return addr.VA(vp), err
+}
+
+// LPush prepends a value and returns the new length.
+func (s *Server) LPush(key string, val []byte) (uint64, error) {
+	return s.push(key, val, true)
+}
+
+// RPush appends a value and returns the new length.
+func (s *Server) RPush(key string, val []byte) (uint64, error) {
+	return s.push(key, val, false)
+}
+
+func (s *Server) push(key string, val []byte, left bool) (uint64, error) {
+	obj, err := s.listObj(key, true)
+	if err != nil {
+		return 0, err
+	}
+	blob, err := s.storeBlob(val)
+	if err != nil {
+		return 0, err
+	}
+	node, err := s.alloc(nodeWords * 8)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.setWord(node, nodeVal, uint64(blob)); err != nil {
+		return 0, err
+	}
+	head, err := s.word(obj, listHead)
+	if err != nil {
+		return 0, err
+	}
+	tail, err := s.word(obj, listTail)
+	if err != nil {
+		return 0, err
+	}
+	if left {
+		s.setWord(node, nodeNext, head)
+		s.setWord(node, nodePrev, 0)
+		if head != 0 {
+			s.setWord(addr.VA(head), nodePrev, uint64(node))
+		}
+		s.setWord(obj, listHead, uint64(node))
+		if tail == 0 {
+			s.setWord(obj, listTail, uint64(node))
+		}
+	} else {
+		s.setWord(node, nodePrev, tail)
+		s.setWord(node, nodeNext, 0)
+		if tail != 0 {
+			s.setWord(addr.VA(tail), nodeNext, uint64(node))
+		}
+		s.setWord(obj, listTail, uint64(node))
+		if head == 0 {
+			s.setWord(obj, listHead, uint64(node))
+		}
+	}
+	n, err := s.word(obj, listLen)
+	if err != nil {
+		return 0, err
+	}
+	n++
+	return n, s.setWord(obj, listLen, n)
+}
+
+// LPop removes and returns the head value (nil on empty).
+func (s *Server) LPop(key string) ([]byte, error) { return s.pop(key, true) }
+
+// RPop removes and returns the tail value (nil on empty).
+func (s *Server) RPop(key string) ([]byte, error) { return s.pop(key, false) }
+
+func (s *Server) pop(key string, left bool) ([]byte, error) {
+	obj, err := s.listObj(key, false)
+	if err != nil || obj == 0 {
+		return nil, err
+	}
+	var nodeRaw uint64
+	if left {
+		nodeRaw, err = s.word(obj, listHead)
+	} else {
+		nodeRaw, err = s.word(obj, listTail)
+	}
+	if err != nil || nodeRaw == 0 {
+		return nil, err
+	}
+	node := addr.VA(nodeRaw)
+	valPtr, err := s.word(node, nodeVal)
+	if err != nil {
+		return nil, err
+	}
+	next, _ := s.word(node, nodeNext)
+	prev, _ := s.word(node, nodePrev)
+	if left {
+		s.setWord(obj, listHead, next)
+		if next != 0 {
+			s.setWord(addr.VA(next), nodePrev, 0)
+		} else {
+			s.setWord(obj, listTail, 0)
+		}
+	} else {
+		s.setWord(obj, listTail, prev)
+		if prev != 0 {
+			s.setWord(addr.VA(prev), nodeNext, 0)
+		} else {
+			s.setWord(obj, listHead, 0)
+		}
+	}
+	n, _ := s.word(obj, listLen)
+	if n > 0 {
+		s.setWord(obj, listLen, n-1)
+	}
+	return s.loadBlob(addr.VA(valPtr))
+}
+
+// LLen returns the list length.
+func (s *Server) LLen(key string) (uint64, error) {
+	obj, err := s.listObj(key, false)
+	if err != nil || obj == 0 {
+		return 0, err
+	}
+	return s.word(obj, listLen)
+}
+
+// LRange returns elements [start, stop] walking the linked list — the
+// LRANGE_100..600 commands of the benchmark, whose cost grows with the
+// walk length (each node is a dependent pointer chase in simulated
+// memory).
+func (s *Server) LRange(key string, start, stop int) ([][]byte, error) {
+	if start < 0 || stop < start {
+		return nil, fmt.Errorf("miniredis: bad range [%d,%d]", start, stop)
+	}
+	obj, err := s.listObj(key, false)
+	if err != nil || obj == 0 {
+		return nil, err
+	}
+	cur, err := s.word(obj, listHead)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for i := 0; cur != 0 && i <= stop; i++ {
+		node := addr.VA(cur)
+		if i >= start {
+			vp, err := s.word(node, nodeVal)
+			if err != nil {
+				return nil, err
+			}
+			val, err := s.loadBlob(addr.VA(vp))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, val)
+		}
+		cur, err = s.word(node, nodeNext)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package miniredis
+
+import (
+	"fmt"
+
+	"hpmp/internal/addr"
+)
+
+// Additional commands beyond the redis-benchmark mix: DEL, EXISTS, APPEND,
+// TYPE. DEL unlinks from the bucket chain (the arena is not compacted —
+// mini-redis, like early Redis, trades fragmentation for simplicity).
+
+// Del removes a key, returning whether it existed.
+func (s *Server) Del(key string) (bool, error) {
+	h := hashKey(key)
+	bva := s.bucketVA(h)
+	cur, err := s.e.Load64(bva)
+	if err != nil {
+		return false, err
+	}
+	prev := addr.VA(0)
+	for cur != 0 {
+		eva := addr.VA(cur)
+		eh, err := s.word(eva, entHash)
+		if err != nil {
+			return false, err
+		}
+		match := false
+		if eh == h {
+			klen, err := s.word(eva, entKLen)
+			if err != nil {
+				return false, err
+			}
+			if int(klen) == len(key) {
+				kb, err := s.e.LoadBytes(eva+addr.VA(entHeaderWords*8), klen)
+				if err != nil {
+					return false, err
+				}
+				match = string(kb) == key
+			}
+		}
+		next, err := s.word(eva, entNext)
+		if err != nil {
+			return false, err
+		}
+		if match {
+			if prev == 0 {
+				if err := s.e.Store64(bva, next); err != nil {
+					return false, err
+				}
+			} else {
+				if err := s.setWord(prev, entNext, next); err != nil {
+					return false, err
+				}
+			}
+			s.Keys--
+			return true, nil
+		}
+		prev = eva
+		cur = next
+	}
+	return false, nil
+}
+
+// Exists reports whether a key is present.
+func (s *Server) Exists(key string) (bool, error) {
+	eva, err := s.findEntry(key)
+	return eva != 0, err
+}
+
+// Type returns the Redis type name of a key ("none" when absent).
+func (s *Server) Type(key string) (string, error) {
+	eva, err := s.findEntry(key)
+	if err != nil || eva == 0 {
+		return "none", err
+	}
+	typ, err := s.word(eva, entType)
+	if err != nil {
+		return "", err
+	}
+	switch typ {
+	case typeString:
+		return "string", nil
+	case typeList:
+		return "list", nil
+	case typeSet:
+		return "set", nil
+	case typeHash:
+		return "hash", nil
+	default:
+		return "", fmt.Errorf("miniredis: corrupt type %d for %q", typ, key)
+	}
+}
+
+// Append concatenates data onto a string key (creating it if absent) and
+// returns the new length. Like Redis, it reallocates the value blob.
+func (s *Server) Append(key string, data []byte) (int, error) {
+	eva, created, err := s.lookupOrCreate(key, typeString)
+	if err != nil {
+		return 0, err
+	}
+	var old []byte
+	if !created {
+		vp, err := s.word(eva, entVal)
+		if err != nil {
+			return 0, err
+		}
+		if vp != 0 {
+			old, err = s.loadBlob(addr.VA(vp))
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	merged := make([]byte, 0, len(old)+len(data))
+	merged = append(merged, old...)
+	merged = append(merged, data...)
+	blob, err := s.storeBlob(merged)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.setWord(eva, entVal, uint64(blob)); err != nil {
+		return 0, err
+	}
+	return len(merged), nil
+}
+
+// StrLen returns the length of a string value (0 when absent).
+func (s *Server) StrLen(key string) (int, error) {
+	v, err := s.Get(key)
+	return len(v), err
+}

@@ -1,0 +1,167 @@
+package miniredis
+
+import (
+	"fmt"
+	"testing"
+
+	"hpmp/internal/monitor"
+)
+
+func TestDel(t *testing.T) {
+	s, _ := newServer(t, monitor.ModeHPMP)
+	s.Set("a", []byte("1"))
+	s.Set("b", []byte("2"))
+	ok, err := s.Del("a")
+	if err != nil || !ok {
+		t.Fatalf("Del existing: %v %v", ok, err)
+	}
+	if v, _ := s.Get("a"); v != nil {
+		t.Error("deleted key must be gone")
+	}
+	if v, _ := s.Get("b"); string(v) != "2" {
+		t.Error("other keys must survive")
+	}
+	if ok, _ := s.Del("a"); ok {
+		t.Error("double delete must report false")
+	}
+	if s.Keys != 1 {
+		t.Errorf("Keys = %d, want 1", s.Keys)
+	}
+}
+
+func TestDelMiddleOfChain(t *testing.T) {
+	// Force bucket collisions with a tiny table, then delete head, middle,
+	// and tail of a chain.
+	s, _ := newServerBuckets(t, 2)
+	keys := []string{"k1", "k2", "k3", "k4", "k5", "k6"}
+	for i, k := range keys {
+		if err := s.Set(k, []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, victim := range []string{"k3", "k1", "k6"} {
+		ok, err := s.Del(victim)
+		if err != nil || !ok {
+			t.Fatalf("Del(%s): %v %v", victim, ok, err)
+		}
+	}
+	for i, k := range keys {
+		v, err := s.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deleted := k == "k1" || k == "k3" || k == "k6"
+		if deleted && v != nil {
+			t.Errorf("%s should be gone", k)
+		}
+		if !deleted && (v == nil || v[0] != byte('0'+i)) {
+			t.Errorf("%s corrupted: %v", k, v)
+		}
+	}
+}
+
+func TestExistsAndType(t *testing.T) {
+	s, _ := newServer(t, monitor.ModeHPMP)
+	s.Set("str", []byte("v"))
+	s.RPush("lst", []byte("v"))
+	s.SAdd("set", "m")
+	s.HSet("hsh", "f", []byte("v"))
+
+	cases := map[string]string{"str": "string", "lst": "list", "set": "set", "hsh": "hash", "nope": "none"}
+	for k, want := range cases {
+		got, err := s.Type(k)
+		if err != nil || got != want {
+			t.Errorf("Type(%s) = %q, %v; want %q", k, got, err, want)
+		}
+		exists, _ := s.Exists(k)
+		if exists != (want != "none") {
+			t.Errorf("Exists(%s) = %v", k, exists)
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	s, _ := newServer(t, monitor.ModeHPMP)
+	n, err := s.Append("k", []byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("Append fresh: %d %v", n, err)
+	}
+	n, err = s.Append("k", []byte(" world"))
+	if err != nil || n != 11 {
+		t.Fatalf("Append more: %d %v", n, err)
+	}
+	v, _ := s.Get("k")
+	if string(v) != "hello world" {
+		t.Errorf("value = %q", v)
+	}
+	if l, _ := s.StrLen("k"); l != 11 {
+		t.Errorf("StrLen = %d", l)
+	}
+	if l, _ := s.StrLen("missing"); l != 0 {
+		t.Errorf("StrLen(missing) = %d", l)
+	}
+	// Appending to a non-string fails.
+	s.RPush("lst", []byte("x"))
+	if _, err := s.Append("lst", []byte("y")); err == nil {
+		t.Error("Append to a list must fail")
+	}
+}
+
+// newServerBuckets builds a server with an explicit (tiny) bucket count to
+// exercise chains.
+func newServerBuckets(t *testing.T, buckets uint64) (*Server, error) {
+	t.Helper()
+	s, _ := newServer(t, monitor.ModeHPMP)
+	// Rebuild with the tiny bucket table by constructing a fresh server on
+	// the same env.
+	s2, err := NewServer(s.e, 8*1024*1024, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s2, nil
+}
+
+func TestDelThenReinsert(t *testing.T) {
+	s, _ := newServer(t, monitor.ModeHPMP)
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("cycle-%d", i%4)
+		s.Set(key, []byte{byte(i)})
+		if i%3 == 0 {
+			s.Del(key)
+		}
+	}
+	// The table stays coherent: re-set keys are readable.
+	s.Set("cycle-0", []byte("final"))
+	v, err := s.Get("cycle-0")
+	if err != nil || string(v) != "final" {
+		t.Errorf("Get after churn = %q, %v", v, err)
+	}
+}
+
+func TestLargeValueAllocation(t *testing.T) {
+	// Values beyond one page exercise the contiguous-run allocator path.
+	s, _ := newServer(t, monitor.ModeHPMP)
+	big := make([]byte, 3*4096+100)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	if err := s.Set("blob", big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("blob")
+	if err != nil || len(got) != len(big) {
+		t.Fatalf("Get blob: %d bytes, %v", len(got), err)
+	}
+	for i := range got {
+		if got[i] != big[i] {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+	// Small allocations continue to work around the large run.
+	if err := s.Set("small", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("small"); string(v) != "x" {
+		t.Error("small value after large alloc")
+	}
+}

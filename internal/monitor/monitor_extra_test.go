@@ -1,0 +1,238 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/cpu"
+	"hpmp/internal/perm"
+)
+
+func TestBootValidation(t *testing.T) {
+	mach := cpu.NewMachine(cpu.RocketPlatform(), memSize)
+	cfg := DefaultConfig(ModeHPMP)
+	cfg.MonitorRegion = addr.Range{Base: 0x1000, Size: 3 * addr.MiB} // not NAPOT
+	if _, err := Boot(mach, cfg); err == nil {
+		t.Error("non-NAPOT monitor region must be rejected")
+	}
+	// A machine without a checker (no-isolation build) cannot host a
+	// monitor.
+	bare := cpu.NewMachineNoIsolation(cpu.RocketPlatform(), memSize)
+	if _, err := Boot(bare, DefaultConfig(ModeHPMP)); err == nil {
+		t.Error("machine without HPMP checker must be rejected")
+	}
+}
+
+func TestFastSlotExhaustion(t *testing.T) {
+	mach := cpu.NewMachine(cpu.RocketPlatform(), memSize)
+	cfg := DefaultConfig(ModeHPMP)
+	cfg.FastEntries = 2 // only two fast slots
+	mon, err := Boot(mach, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []GMSID
+	for i := 0; i < 4; i++ {
+		region := addr.Range{Base: addr.PA(0x1000_0000 + i*4*addr.MiB), Size: 4 * addr.MiB}
+		id, _, err := mon.AddRegion(HostDomain, region, perm.RW, LabelFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// First two fast GMSs ride segments; the overflow ones stay table-only
+	// (a cache miss that does not evict, §5) — and still enforce access.
+	segCount := 0
+	for i, id := range ids {
+		g, _ := mon.GMS(id)
+		r, err := mach.Checker.Check(g.Region.Base, 8, perm.Read, perm.S, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Allowed {
+			t.Fatalf("GMS %d must be accessible", i)
+		}
+		if !r.TableMode {
+			segCount++
+		}
+	}
+	if segCount != 2 {
+		t.Errorf("%d GMSs in segments, want exactly 2 (FastEntries)", segCount)
+	}
+	// Releasing a fast GMS frees its slot for the next fast label.
+	if _, err := mon.ReleaseRegion(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.SetLabel(ids[2], LabelSlow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.SetLabel(ids[2], LabelFast); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := mon.GMS(ids[2])
+	r, _ := mach.Checker.Check(g.Region.Base, 8, perm.Read, perm.S, 0)
+	if r.TableMode {
+		t.Error("relabelled GMS should claim the freed fast slot")
+	}
+}
+
+func TestNonNAPOTFastGMSStaysInTable(t *testing.T) {
+	mon := boot(t, ModeHPMP)
+	// 3 pages: cannot be a NAPOT segment, so the fast label is a no-op for
+	// segments (the GMS still works through the table).
+	region := addr.Range{Base: 0x1000_0000, Size: 3 * addr.PageSize}
+	id, _, err := mon.AddRegion(HostDomain, region, perm.RW, LabelFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := mon.GMS(id)
+	r, _ := mon.Mach.Checker.Check(g.Region.Base, 8, perm.Read, perm.S, 0)
+	if !r.Allowed || !r.TableMode {
+		t.Errorf("non-NAPOT fast GMS must be table-checked but accessible: %+v", r)
+	}
+}
+
+func TestMultiChunkMemory(t *testing.T) {
+	// 32 GiB of (sparse) memory needs two 16 GiB permission-table chunks:
+	// two entry pairs, leaving fewer fast slots.
+	mach := cpu.NewMachine(cpu.RocketPlatform(), 32*addr.GiB)
+	mon, err := Boot(mach, DefaultConfig(ModeHPMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far memory (beyond 16 GiB) is host-accessible through the second
+	// chunk's table.
+	far := addr.PA(20 * addr.GiB)
+	r, err := mach.Checker.Check(far, 8, perm.Read, perm.S, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Allowed || !r.TableMode {
+		t.Errorf("far memory must be table-checked host memory: %+v", r)
+	}
+	// An enclave can own far memory too.
+	enc, _, _ := mon.CreateEnclave("far")
+	region := addr.Range{Base: addr.PA(24 * addr.GiB), Size: 8 * addr.MiB}
+	if _, _, err := mon.AddRegion(enc, region, perm.RWX, LabelSlow); err != nil {
+		t.Fatal(err)
+	}
+	if hostCheck(t, mon, region.Base, perm.Read) {
+		t.Error("host must lose far enclave memory")
+	}
+	mon.Switch(enc)
+	if !hostCheck(t, mon, region.Base, perm.Read) {
+		t.Error("enclave must reach its far memory")
+	}
+}
+
+func TestPMPTSwitchCostFlat(t *testing.T) {
+	// Table-mode switching (PMPT and HPMP) is a root-pointer swap: cost
+	// must not grow with the enclaves' region counts.
+	mon := boot(t, ModePMPT)
+	e1, _, _ := mon.CreateEnclave("small")
+	mon.AddRegion(e1, addr.Range{Base: 0x1000_0000, Size: 64 * addr.KiB}, perm.RWX, LabelSlow)
+	e2, _, _ := mon.CreateEnclave("big")
+	for i := 0; i < 20; i++ {
+		region := addr.Range{Base: addr.PA(0x1100_0000 + i*addr.MiB), Size: 64 * addr.KiB}
+		if _, _, err := mon.AddRegion(e2, region, perm.RWX, LabelSlow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon.Switch(e1)
+	c1, _ := mon.Switch(e2)
+	c2, _ := mon.Switch(e1)
+	if c1 > c2*3 || c2 > c1*3 {
+		t.Errorf("switch costs should be size-independent: to-big=%d to-small=%d", c1, c2)
+	}
+}
+
+func TestGMSAccessors(t *testing.T) {
+	mon := boot(t, ModeHPMP)
+	if _, ok := mon.GMS(999); ok {
+		t.Error("unknown GMS id must not resolve")
+	}
+	if _, ok := mon.Domain(999); ok {
+		t.Error("unknown domain must not resolve")
+	}
+	if mon.Mode() != ModeHPMP {
+		t.Error("Mode accessor wrong")
+	}
+	// Switch to an unknown domain fails.
+	if _, err := mon.Switch(42); err == nil {
+		t.Error("switch to unknown domain must fail")
+	}
+	// Label of an unknown GMS fails; same-label is a free no-op.
+	if _, err := mon.SetLabel(999, LabelFast); err == nil {
+		t.Error("label of unknown GMS must fail")
+	}
+	region := addr.Range{Base: 0x1000_0000, Size: 64 * addr.KiB}
+	id, _, _ := mon.AddRegion(HostDomain, region, perm.RW, LabelSlow)
+	cycles, err := mon.SetLabel(id, LabelSlow)
+	if err != nil || cycles != 0 {
+		t.Errorf("same-label relabel should be free: %d %v", cycles, err)
+	}
+}
+
+func TestManyEnclavesStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("creates 60 enclaves")
+	}
+	mon := boot(t, ModeHPMP)
+	var ids []DomainID
+	for i := 0; i < 60; i++ {
+		id, _, err := mon.CreateEnclave(fmt.Sprintf("e%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		region := addr.Range{Base: addr.PA(0x1000_0000 + i*addr.MiB), Size: 256 * addr.KiB}
+		if _, _, err := mon.AddRegion(id, region, perm.RWX, LabelSlow); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Round-robin switches keep isolation intact.
+	for i, id := range ids {
+		if _, err := mon.Switch(id); err != nil {
+			t.Fatal(err)
+		}
+		own := addr.PA(0x1000_0000 + i*addr.MiB)
+		other := addr.PA(0x1000_0000 + ((i+1)%60)*addr.MiB)
+		if !hostCheck(t, mon, own, perm.Read) {
+			t.Fatalf("enclave %d cannot reach its own memory", i)
+		}
+		if hostCheck(t, mon, other, perm.Read) {
+			t.Fatalf("enclave %d can reach enclave %d's memory", i, (i+1)%60)
+		}
+	}
+	// Tear every other one down; the survivors stay isolated.
+	mon.Switch(HostDomain)
+	for i := 0; i < 60; i += 2 {
+		if _, err := mon.DestroyDomain(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mon.NumDomains() != 31 { // host + 30 survivors
+		t.Errorf("NumDomains = %d, want 31", mon.NumDomains())
+	}
+	mon.Switch(ids[1])
+	if hostCheck(t, mon, addr.PA(0x1000_0000+3*addr.MiB), perm.Read) {
+		t.Error("survivor can reach another survivor's memory")
+	}
+}
+
+func TestCacheLineLocking(t *testing.T) {
+	mon := boot(t, ModeHPMP)
+	region := addr.Range{Base: 0x2000_0000, Size: 4 * addr.KiB}
+	locked, cycles := mon.LockCacheLines(region)
+	if locked == 0 || cycles == 0 {
+		t.Fatalf("LockCacheLines = %d lines, %d cycles", locked, cycles)
+	}
+	if got := mon.Mach.Hier.LLC.LockedLines(); got != locked {
+		t.Errorf("LLC reports %d locked lines, want %d", got, locked)
+	}
+	mon.UnlockCacheLines(region)
+	if got := mon.Mach.Hier.LLC.LockedLines(); got != 0 {
+		t.Errorf("after unlock, %d lines still pinned", got)
+	}
+}

@@ -1,0 +1,113 @@
+// Package perm defines the permission bits, access kinds, and privilege
+// modes shared by the page tables, PMP, PMP Table, and TLB models.
+package perm
+
+import "strings"
+
+// Perm is a read/write/execute permission set, encoded as in RISC-V
+// pmpcfg/PTE low bits: R=bit0, W=bit1, X=bit2.
+type Perm uint8
+
+const (
+	R Perm = 1 << iota
+	W
+	X
+
+	None Perm = 0
+	RW        = R | W
+	RX        = R | X
+	RWX       = R | W | X
+)
+
+// Has reports whether p includes every bit of q.
+func (p Perm) Has(q Perm) bool { return p&q == q }
+
+// Allows reports whether p permits the given access kind.
+func (p Perm) Allows(k Access) bool {
+	switch k {
+	case Read:
+		return p.Has(R)
+	case Write:
+		return p.Has(W)
+	case Fetch:
+		return p.Has(X)
+	default:
+		return false
+	}
+}
+
+func (p Perm) String() string {
+	if p == None {
+		return "---"
+	}
+	var b strings.Builder
+	for _, f := range []struct {
+		bit Perm
+		c   byte
+	}{{R, 'r'}, {W, 'w'}, {X, 'x'}} {
+		if p.Has(f.bit) {
+			b.WriteByte(f.c)
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// Access is the kind of memory access being validated.
+type Access int
+
+const (
+	Read Access = iota
+	Write
+	Fetch
+)
+
+func (k Access) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Fetch:
+		return "fetch"
+	default:
+		return "access?"
+	}
+}
+
+// Need returns the permission bit an access kind requires.
+func (k Access) Need() Perm {
+	switch k {
+	case Read:
+		return R
+	case Write:
+		return W
+	case Fetch:
+		return X
+	default:
+		return None
+	}
+}
+
+// Priv is a RISC-V privilege mode.
+type Priv int
+
+const (
+	U Priv = iota // user
+	S             // supervisor (OS kernel)
+	M             // machine (secure monitor)
+)
+
+func (p Priv) String() string {
+	switch p {
+	case U:
+		return "U"
+	case S:
+		return "S"
+	case M:
+		return "M"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,73 @@
+package perm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPermHas(t *testing.T) {
+	if !RWX.Has(R) || !RWX.Has(RW) || !RWX.Has(RWX) {
+		t.Error("RWX must include every subset")
+	}
+	if RW.Has(X) {
+		t.Error("RW must not include X")
+	}
+	if !None.Has(None) {
+		t.Error("empty set includes itself")
+	}
+}
+
+func TestPermAllows(t *testing.T) {
+	cases := []struct {
+		p    Perm
+		k    Access
+		want bool
+	}{
+		{R, Read, true}, {R, Write, false}, {R, Fetch, false},
+		{W, Write, true}, {W, Read, false},
+		{X, Fetch, true}, {X, Read, false},
+		{RWX, Read, true}, {RWX, Write, true}, {RWX, Fetch, true},
+		{None, Read, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Allows(c.k); got != c.want {
+			t.Errorf("%v.Allows(%v) = %v, want %v", c.p, c.k, got, c.want)
+		}
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if RWX.String() != "rwx" || RW.String() != "rw-" || None.String() != "---" {
+		t.Errorf("String renderings wrong: %v %v %v", RWX, RW, None)
+	}
+	if RX.String() != "r-x" {
+		t.Errorf("RX = %q", RX.String())
+	}
+}
+
+func TestAccessNeed(t *testing.T) {
+	if Read.Need() != R || Write.Need() != W || Fetch.Need() != X {
+		t.Error("Need mapping wrong")
+	}
+	if Read.String() != "read" || Write.String() != "write" || Fetch.String() != "fetch" {
+		t.Error("Access strings wrong")
+	}
+}
+
+func TestPrivString(t *testing.T) {
+	if U.String() != "U" || S.String() != "S" || M.String() != "M" {
+		t.Error("Priv strings wrong")
+	}
+}
+
+// Property: p.Allows(k) ⇔ p.Has(k.Need()) for all perms and kinds.
+func TestAllowsConsistentWithNeedQuick(t *testing.T) {
+	f := func(pBits uint8, kRaw uint8) bool {
+		p := Perm(pBits & 0x7)
+		k := Access(kRaw % 3)
+		return p.Allows(k) == p.Has(k.Need())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

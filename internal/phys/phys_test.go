@@ -1,0 +1,221 @@
+package phys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hpmp/internal/addr"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(1 * addr.MiB)
+	data := []byte("hello physical memory")
+	if err := m.Write(0x1ff8, data); err != nil { // crosses a page boundary
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := m.Read(0x1ff8, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip failed: %q", got)
+	}
+}
+
+func TestWord64(t *testing.T) {
+	m := New(64 * addr.KiB)
+	if err := m.Write64(0x100, 0xdeadbeefcafebabe); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read64(0x100)
+	if err != nil || v != 0xdeadbeefcafebabe {
+		t.Errorf("Read64 = %#x, %v", v, err)
+	}
+	if _, err := m.Read64(0x101); err == nil {
+		t.Error("misaligned Read64 must fail")
+	}
+	if err := m.Write64(0x103, 1); err == nil {
+		t.Error("misaligned Write64 must fail")
+	}
+}
+
+func TestWord32(t *testing.T) {
+	m := New(64 * addr.KiB)
+	if err := m.Write32(0x200, 0x12345678); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read32(0x200)
+	if err != nil || v != 0x12345678 {
+		t.Errorf("Read32 = %#x, %v", v, err)
+	}
+	if _, err := m.Read32(0x201); err == nil {
+		t.Error("misaligned Read32 must fail")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	m := New(8 * addr.KiB)
+	if err := m.Write(addr.PA(8*addr.KiB-4), make([]byte, 8)); err == nil {
+		t.Error("write past the end must fail")
+	}
+	var eb *ErrBounds
+	err := m.Read(addr.PA(100*addr.KiB), make([]byte, 1))
+	if err == nil {
+		t.Fatal("out of bounds read must fail")
+	}
+	if ok := asErrBounds(err, &eb); !ok {
+		t.Errorf("want *ErrBounds, got %T", err)
+	}
+	if _, err := m.Read8(addr.PA(9 * addr.KiB)); err == nil {
+		t.Error("Read8 out of bounds must fail")
+	}
+}
+
+func asErrBounds(err error, out **ErrBounds) bool {
+	e, ok := err.(*ErrBounds)
+	if ok {
+		*out = e
+	}
+	return ok
+}
+
+func TestZeroPage(t *testing.T) {
+	m := New(64 * addr.KiB)
+	m.Write64(0x3000, 0xffffffffffffffff)
+	if err := m.ZeroPage(0x3000); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read64(0x3000); v != 0 {
+		t.Error("ZeroPage did not clear")
+	}
+	if err := m.ZeroPage(0x3008); err == nil {
+		t.Error("unaligned ZeroPage must fail")
+	}
+}
+
+func TestTouchedFrames(t *testing.T) {
+	m := New(1 * addr.MiB)
+	m.Write8(0x0, 1)
+	m.Write8(0x10, 1)   // same frame
+	m.Write8(0x5000, 1) // second frame
+	m.Read8(0x9000)     // third frame (reads also materialize)
+	if got := m.TouchedFrames(); got != 3 {
+		t.Errorf("TouchedFrames = %d, want 3", got)
+	}
+}
+
+// Property: a 64-bit word written at any aligned in-bounds address reads
+// back identically.
+func TestWord64Quick(t *testing.T) {
+	m := New(4 * addr.MiB)
+	f := func(off uint32, v uint64) bool {
+		pa := addr.PA(uint64(off) % (4 * addr.MiB / 8) * 8)
+		if err := m.Write64(pa, v); err != nil {
+			return false
+		}
+		got, err := m.Read64(pa)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameAllocatorSequential(t *testing.T) {
+	a := NewFrameAllocator(addr.Range{Base: 0x10000, Size: 4 * addr.PageSize}, false)
+	var got []addr.PA
+	for i := 0; i < 4; i++ {
+		pa, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, pa)
+	}
+	for i, pa := range got {
+		want := addr.PA(0x10000 + i*addr.PageSize)
+		if pa != want {
+			t.Errorf("frame %d = %v, want %v", i, pa, want)
+		}
+	}
+	if _, err := a.Alloc(); err == nil {
+		t.Error("exhausted allocator must fail")
+	}
+	a.Free(got[2])
+	pa, err := a.Alloc()
+	if err != nil || pa != got[2] {
+		t.Errorf("free list reuse failed: %v %v", pa, err)
+	}
+}
+
+func TestFrameAllocatorScatter(t *testing.T) {
+	region := addr.Range{Base: 0, Size: 256 * addr.PageSize}
+	a := NewFrameAllocator(region, true)
+	seen := make(map[addr.PA]bool)
+	adjacent := 0
+	var prev addr.PA
+	for i := 0; i < 256; i++ {
+		pa, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[pa] {
+			t.Fatalf("duplicate frame %v", pa)
+		}
+		if !region.Contains(pa) {
+			t.Fatalf("frame %v outside region", pa)
+		}
+		seen[pa] = true
+		if i > 0 && (pa == prev+addr.PageSize || prev == pa+addr.PageSize) {
+			adjacent++
+		}
+		prev = pa
+	}
+	if adjacent > 32 {
+		t.Errorf("scattered allocator produced %d adjacent pairs; want few", adjacent)
+	}
+}
+
+func TestFrameAllocatorAllocN(t *testing.T) {
+	a := NewFrameAllocator(addr.Range{Base: 0, Size: 8 * addr.PageSize}, false)
+	frames, err := a.AllocN(8)
+	if err != nil || len(frames) != 8 {
+		t.Fatalf("AllocN: %v %v", frames, err)
+	}
+	if a.Allocated() != 8 {
+		t.Errorf("Allocated = %d", a.Allocated())
+	}
+	if _, err := a.AllocN(1); err == nil {
+		t.Error("over-allocation must fail")
+	}
+}
+
+func TestFreeGuards(t *testing.T) {
+	a := NewFrameAllocator(addr.Range{Base: 0x10000, Size: 4 * addr.PageSize}, false)
+	pa, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(pa)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double free must panic")
+			}
+		}()
+		a.Free(pa)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("foreign frame free must panic")
+			}
+		}()
+		a.Free(0x9999_0000)
+	}()
+	// The freed frame is reusable exactly once.
+	got, err := a.Alloc()
+	if err != nil || got != pa {
+		t.Errorf("realloc = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,200 @@
+package pmpt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/memport"
+	"hpmp/internal/perm"
+	"hpmp/internal/phys"
+)
+
+func newDeep(t *testing.T, regionSize uint64) (*DeepTable, *phys.Memory) {
+	t.Helper()
+	// Sparse physical memory makes a huge address space cheap to simulate.
+	mem := phys.New(64 * addr.GiB)
+	alloc := phys.NewFrameAllocator(addr.Range{Base: 0x10_0000, Size: 64 * addr.MiB}, false)
+	tbl, err := NewDeepTable(mem, alloc, addr.Range{Base: 0, Size: regionSize}, Mode3Level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, mem
+}
+
+func TestModeProperties(t *testing.T) {
+	if Mode2Level.Levels() != 2 || Mode3Level.Levels() != 3 {
+		t.Error("mode levels wrong")
+	}
+	if Mode2Level.Reach() != 16*addr.GiB {
+		t.Errorf("2-level reach = %d", Mode2Level.Reach())
+	}
+	if Mode3Level.Reach() != 8*1024*addr.GiB {
+		t.Errorf("3-level reach = %d, want 8 TiB", Mode3Level.Reach())
+	}
+	if TableMode(3).Levels() != 0 || TableMode(3).Reach() != 0 {
+		t.Error("reserved modes must report zero")
+	}
+}
+
+func TestDeepRejects(t *testing.T) {
+	mem := phys.New(1 * addr.GiB)
+	alloc := phys.NewFrameAllocator(addr.Range{Base: 0, Size: addr.MiB}, false)
+	if _, err := NewDeepTable(mem, alloc, addr.Range{Base: 0, Size: 4096}, TableMode(3)); err == nil {
+		t.Error("reserved mode must be rejected")
+	}
+	if _, err := NewDeepTable(mem, alloc, addr.Range{Base: 0, Size: 9 * 1024 * addr.GiB}, Mode3Level); err == nil {
+		t.Error("region beyond 8 TiB must be rejected")
+	}
+}
+
+func TestDeepSetAndWalk(t *testing.T) {
+	// A region past the 2-level reach: 32 GiB.
+	tbl, mem := newDeep(t, 32*addr.GiB)
+	w := &Walker{Port: &memport.Flat{Mem: mem, Latency: 10}}
+
+	// One page deep inside the region (beyond 16 GiB, unreachable by a
+	// 2-level table).
+	pa := addr.PA(20 * addr.GiB)
+	if err := tbl.SetPagePerm(pa, perm.RW); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.WalkDeep(tbl.RootBase(), tbl.Region(), Mode3Level, pa, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid || res.Perm != perm.RW {
+		t.Errorf("deep walk: %+v", res)
+	}
+	// A full 3-level walk costs exactly 3 references.
+	if res.MemRefs != 3 || res.Latency != 30 {
+		t.Errorf("3-level walk refs=%d lat=%d, want 3/30", res.MemRefs, res.Latency)
+	}
+	// Neighbour page untouched.
+	res, _ = w.WalkDeep(tbl.RootBase(), tbl.Region(), Mode3Level, pa+addr.PageSize, 0)
+	if res.Perm != perm.None {
+		t.Errorf("neighbour perm = %v", res.Perm)
+	}
+}
+
+func TestDeepHugeLevels(t *testing.T) {
+	tbl, mem := newDeep(t, 64*addr.GiB)
+	w := &Walker{Port: &memport.Flat{Mem: mem, Latency: 10}}
+
+	// A 16 GiB aligned grant uses one level-2 huge entry: 1 reference.
+	if err := tbl.SetRangePerm(addr.Range{Base: 16 * addr.GiB, Size: 16 * addr.GiB}, perm.R); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.WalkDeep(tbl.RootBase(), tbl.Region(), Mode3Level, addr.PA(24*addr.GiB), 0)
+	if err != nil || !res.Valid || res.Perm != perm.R {
+		t.Fatalf("huge walk: %+v %v", res, err)
+	}
+	if res.MemRefs != 1 {
+		t.Errorf("level-2 huge walk refs = %d, want 1", res.MemRefs)
+	}
+	// A 32 MiB aligned grant uses a level-1 huge entry: 2 references.
+	if err := tbl.SetRangePerm(addr.Range{Base: 0, Size: 32 * addr.MiB}, perm.RW); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = w.WalkDeep(tbl.RootBase(), tbl.Region(), Mode3Level, 0x100_0000, 0)
+	if !res.Valid || res.Perm != perm.RW || res.MemRefs != 2 {
+		t.Errorf("level-1 huge walk: %+v", res)
+	}
+	// Demoting the 16 GiB huge entry with a single-page edit preserves the
+	// surrounding permission.
+	hole := addr.PA(17 * addr.GiB)
+	if err := tbl.SetPagePerm(hole, perm.None); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tbl.LookupSW(hole); got != perm.None {
+		t.Errorf("hole = %v", got)
+	}
+	if got, _ := tbl.LookupSW(hole + addr.PageSize); got != perm.R {
+		t.Errorf("page after hole = %v, want r-- (demotion must preserve)", got)
+	}
+}
+
+// Property: the 3-level hardware walk agrees with the software oracle.
+func TestDeepOracleQuick(t *testing.T) {
+	tbl, mem := newDeep(t, 32*addr.GiB)
+	w := &Walker{Port: &memport.Flat{Mem: mem, Latency: 1}}
+	f := func(pageIdx uint32, pbits uint8) bool {
+		page := uint64(pageIdx) % (32 * addr.GiB / addr.PageSize)
+		pa := addr.PA(page * addr.PageSize)
+		p := perm.Perm(pbits & 0x7)
+		if err := tbl.SetPagePerm(pa, p); err != nil {
+			return false
+		}
+		sw, err := tbl.LookupSW(pa)
+		if err != nil {
+			return false
+		}
+		hw, err := w.WalkDeep(tbl.RootBase(), tbl.Region(), Mode3Level, pa, 0)
+		return err == nil && hw.Perm == sw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkDeepFallsBackTo2Level(t *testing.T) {
+	// WalkDeep with Mode2Level must behave exactly like Walk.
+	mem := phys.New(256 * addr.MiB)
+	alloc := phys.NewFrameAllocator(addr.Range{Base: 0x10_0000, Size: 4 * addr.MiB}, false)
+	tbl, err := NewTable(mem, alloc, addr.Range{Base: 0x100_0000, Size: 64 * addr.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.SetPagePerm(tbl.Region().Base, perm.RWX)
+	w := &Walker{Port: &memport.Flat{Mem: mem, Latency: 5}}
+	a, err := w.Walk(tbl.RootBase(), tbl.Region(), tbl.Region().Base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.WalkDeep(tbl.RootBase(), tbl.Region(), Mode2Level, tbl.Region().Base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Perm != b.Perm || a.MemRefs != b.MemRefs {
+		t.Errorf("WalkDeep(Mode2Level) diverges: %+v vs %+v", a, b)
+	}
+}
+
+func TestMode4Level(t *testing.T) {
+	if Mode4Level.Levels() != 4 {
+		t.Fatal("Mode4Level must be 4 levels")
+	}
+	if Mode4Level.Reach() != 4*1024*1024*addr.GiB {
+		t.Errorf("4-level reach = %d, want 4 PiB", Mode4Level.Reach())
+	}
+	// A region past the 3-level reach, with a page mapped very deep.
+	mem := phys.New(16 * 1024 * addr.GiB) // 16 TiB sparse
+	alloc := phys.NewFrameAllocator(addr.Range{Base: 0x10_0000, Size: 64 * addr.MiB}, false)
+	tbl, err := NewDeepTable(mem, alloc, addr.Range{Base: 0, Size: 16 * 1024 * addr.GiB}, Mode4Level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := addr.PA(9 * 1024 * addr.GiB) // 9 TiB: beyond Mode3Level
+	if err := tbl.SetPagePerm(far, perm.RWX); err != nil {
+		t.Fatal(err)
+	}
+	w := &Walker{Port: &memport.Flat{Mem: mem, Latency: 10}}
+	res, err := w.WalkDeep(tbl.RootBase(), tbl.Region(), Mode4Level, far, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid || res.Perm != perm.RWX || res.MemRefs != 4 {
+		t.Errorf("4-level walk: %+v (want valid rwx, 4 refs)", res)
+	}
+	if got, _ := tbl.LookupSW(far); got != perm.RWX {
+		t.Errorf("oracle = %v", got)
+	}
+	// Huge at level 3 (one 8 TiB entry): 1 ref.
+	if err := tbl.SetRangePerm(addr.Range{Base: 0, Size: 8 * 1024 * addr.GiB}, perm.R); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = w.WalkDeep(tbl.RootBase(), tbl.Region(), Mode4Level, addr.PA(addr.GiB), 0)
+	if !res.Valid || res.Perm != perm.R || res.MemRefs != 1 {
+		t.Errorf("level-3 huge walk: %+v", res)
+	}
+}

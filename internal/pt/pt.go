@@ -1,0 +1,327 @@
+// Package pt implements RISC-V page tables (Sv39/Sv48/Sv57) living in
+// simulated physical memory: PTE encode/decode, software construction
+// (map/unmap/protect), and a software translation oracle against which the
+// hardware walker (package ptw) is verified.
+//
+// The package also exposes WalkPath, the exact sequence of PTE addresses a
+// hardware walker must touch for a VA — this is what the experiment code
+// uses to prime Table-2 cache/PWC states and what makes the memory-reference
+// counts of paper Figures 2/4/8 checkable.
+package pt
+
+import (
+	"fmt"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/perm"
+	"hpmp/internal/phys"
+)
+
+// PTE bit layout per the privileged spec.
+const (
+	FlagV = 1 << 0
+	FlagR = 1 << 1
+	FlagW = 1 << 2
+	FlagX = 1 << 3
+	FlagU = 1 << 4
+	FlagG = 1 << 5
+	FlagA = 1 << 6
+	FlagD = 1 << 7
+
+	ppnShift = 10
+	ppnMask  = (uint64(1) << 44) - 1
+)
+
+// PTE is a raw RISC-V page-table entry.
+type PTE uint64
+
+// MakeLeaf builds a valid leaf PTE mapping to the frame of pa with the
+// given permission; A/D are pre-set (the simulator does not model A/D
+// traps).
+func MakeLeaf(pa addr.PA, p perm.Perm, user bool) PTE {
+	v := uint64(FlagV | FlagA | FlagD)
+	v |= uint64(p) << 1 // perm.R=1<<0 → FlagR=1<<1 etc.
+	if user {
+		v |= FlagU
+	}
+	v |= (pa.Frame() & ppnMask) << ppnShift
+	return PTE(v)
+}
+
+// MakePointer builds a non-leaf PTE referencing the next-level table.
+func MakePointer(next addr.PA) PTE {
+	return PTE(uint64(FlagV) | (next.Frame()&ppnMask)<<ppnShift)
+}
+
+// Valid reports the V bit.
+func (p PTE) Valid() bool { return uint64(p)&FlagV != 0 }
+
+// Leaf reports whether the PTE is a leaf (any of R/W/X set).
+func (p PTE) Leaf() bool { return uint64(p)&(FlagR|FlagW|FlagX) != 0 }
+
+// Perm returns the R/W/X permission of a leaf PTE.
+func (p PTE) Perm() perm.Perm { return perm.Perm((uint64(p) >> 1) & 0x7) }
+
+// User reports the U bit.
+func (p PTE) User() bool { return uint64(p)&FlagU != 0 }
+
+// PPN returns the physical frame the PTE references.
+func (p PTE) PPN() uint64 { return (uint64(p) >> ppnShift) & ppnMask }
+
+// Target returns the physical address the PTE references (frame base).
+func (p PTE) Target() addr.PA { return addr.PA(p.PPN() << addr.PageShift) }
+
+func (p PTE) String() string {
+	if !p.Valid() {
+		return "PTE(invalid)"
+	}
+	if !p.Leaf() {
+		return fmt.Sprintf("PTE(ptr→%#x)", uint64(p.Target()))
+	}
+	return fmt.Sprintf("PTE(%#x %v u=%v)", uint64(p.Target()), p.Perm(), p.User())
+}
+
+// Table is a software-managed page table of a given mode rooted in
+// simulated physical memory. PT pages are drawn from PTAlloc — the paper's
+// key software lever: Penglai-HPMP points PTAlloc at a contiguous "fast"
+// GMS so every PT page lands inside one segment.
+type Table struct {
+	Mode    addr.Mode
+	mem     *phys.Memory
+	PTAlloc *phys.FrameAllocator
+	root    addr.PA
+	ptPages []addr.PA // every PT page allocated (root first)
+}
+
+// New allocates an empty page table of the given mode.
+func New(mem *phys.Memory, ptAlloc *phys.FrameAllocator, mode addr.Mode) (*Table, error) {
+	if mode.Levels() == 0 {
+		return nil, fmt.Errorf("pt: mode %v has no page table", mode)
+	}
+	root, err := ptAlloc.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("pt: allocating root: %w", err)
+	}
+	if err := mem.ZeroPage(root); err != nil {
+		return nil, err
+	}
+	return &Table{Mode: mode, mem: mem, PTAlloc: ptAlloc, root: root, ptPages: []addr.PA{root}}, nil
+}
+
+// Root returns the root PT page (the satp PPN target).
+func (t *Table) Root() addr.PA { return t.root }
+
+// PTPages returns every page-table page in allocation order.
+func (t *Table) PTPages() []addr.PA {
+	out := make([]addr.PA, len(t.ptPages))
+	copy(out, t.ptPages)
+	return out
+}
+
+// pteAddr returns the address of the level-`level` PTE for va inside the
+// table page at base.
+func (t *Table) pteAddr(base addr.PA, va addr.VA, level int) addr.PA {
+	return base + addr.PA(t.Mode.VPN(va, level)*8)
+}
+
+// Map installs a 4 KiB mapping va→pa with permission p. Intermediate PT
+// pages are created as needed. Remapping an existing leaf overwrites it.
+func (t *Table) Map(va addr.VA, pa addr.PA, p perm.Perm, user bool) error {
+	if !t.Mode.Canonical(va) {
+		return fmt.Errorf("pt: non-canonical %v for %v", va, t.Mode)
+	}
+	base := t.root
+	for level := t.Mode.Levels() - 1; level > 0; level-- {
+		ea := t.pteAddr(base, va, level)
+		raw, err := t.mem.Read64(ea)
+		if err != nil {
+			return err
+		}
+		e := PTE(raw)
+		switch {
+		case !e.Valid():
+			next, err := t.PTAlloc.Alloc()
+			if err != nil {
+				return fmt.Errorf("pt: allocating level-%d table: %w", level-1, err)
+			}
+			if err := t.mem.ZeroPage(next); err != nil {
+				return err
+			}
+			t.ptPages = append(t.ptPages, next)
+			if err := t.mem.Write64(ea, uint64(MakePointer(next))); err != nil {
+				return err
+			}
+			base = next
+		case e.Leaf():
+			return fmt.Errorf("pt: %v already mapped by a level-%d superpage", va, level)
+		default:
+			base = e.Target()
+		}
+	}
+	return t.mem.Write64(t.pteAddr(base, va, 0), uint64(MakeLeaf(pa, p, user)))
+}
+
+// MapSuper installs a superpage leaf at the given level (1 = 2 MiB,
+// 2 = 1 GiB for Sv39). va and pa must be aligned to the superpage span.
+func (t *Table) MapSuper(va addr.VA, pa addr.PA, level int, p perm.Perm, user bool) error {
+	if level < 1 || level >= t.Mode.Levels() {
+		return fmt.Errorf("pt: superpage level %d invalid for %v", level, t.Mode)
+	}
+	span := uint64(1) << (addr.PageShift + 9*level)
+	if !addr.IsAligned(uint64(va), span) || !addr.IsAligned(uint64(pa), span) {
+		return fmt.Errorf("pt: superpage at %v→%v not %d-aligned", va, pa, span)
+	}
+	if !t.Mode.Canonical(va) {
+		return fmt.Errorf("pt: non-canonical %v", va)
+	}
+	base := t.root
+	for l := t.Mode.Levels() - 1; l > level; l-- {
+		ea := t.pteAddr(base, va, l)
+		raw, err := t.mem.Read64(ea)
+		if err != nil {
+			return err
+		}
+		e := PTE(raw)
+		switch {
+		case !e.Valid():
+			next, err := t.PTAlloc.Alloc()
+			if err != nil {
+				return err
+			}
+			if err := t.mem.ZeroPage(next); err != nil {
+				return err
+			}
+			t.ptPages = append(t.ptPages, next)
+			if err := t.mem.Write64(ea, uint64(MakePointer(next))); err != nil {
+				return err
+			}
+			base = next
+		case e.Leaf():
+			return fmt.Errorf("pt: %v already covered by a level-%d superpage", va, l)
+		default:
+			base = e.Target()
+		}
+	}
+	return t.mem.Write64(t.pteAddr(base, va, level), uint64(MakeLeaf(pa, p, user)))
+}
+
+// MapRange maps n consecutive pages starting at va to the frames returned
+// by nextFrame (called once per page).
+func (t *Table) MapRange(va addr.VA, pages int, p perm.Perm, user bool, nextFrame func() (addr.PA, error)) error {
+	for i := 0; i < pages; i++ {
+		pa, err := nextFrame()
+		if err != nil {
+			return err
+		}
+		if err := t.Map(va+addr.VA(i*addr.PageSize), pa, p, user); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unmap clears the leaf PTE for va (intermediate tables are not reclaimed,
+// matching common kernels). It returns the frame that was mapped.
+func (t *Table) Unmap(va addr.VA) (addr.PA, error) {
+	ea, e, _, err := t.leafPTE(va)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.mem.Write64(ea, 0); err != nil {
+		return 0, err
+	}
+	return e.Target(), nil
+}
+
+// Protect rewrites the permission of the existing mapping at va.
+func (t *Table) Protect(va addr.VA, p perm.Perm) error {
+	ea, e, user, err := t.leafPTE(va)
+	if err != nil {
+		return err
+	}
+	return t.mem.Write64(ea, uint64(MakeLeaf(e.Target(), p, user)))
+}
+
+// leafPTE finds the leaf PTE for va.
+func (t *Table) leafPTE(va addr.VA) (addr.PA, PTE, bool, error) {
+	base := t.root
+	for level := t.Mode.Levels() - 1; level >= 0; level-- {
+		ea := t.pteAddr(base, va, level)
+		raw, err := t.mem.Read64(ea)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		e := PTE(raw)
+		if !e.Valid() {
+			return 0, 0, false, &FaultError{VA: va, Level: level}
+		}
+		if e.Leaf() {
+			if level != 0 {
+				return 0, 0, false, fmt.Errorf("pt: %v maps a level-%d superpage", va, level)
+			}
+			return ea, e, e.User(), nil
+		}
+		base = e.Target()
+	}
+	return 0, 0, false, fmt.Errorf("pt: walk fell through for %v", va)
+}
+
+// FaultError is a page fault discovered during a software walk.
+type FaultError struct {
+	VA    addr.VA
+	Level int
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("pt: page fault at %v (level %d invalid)", e.VA, e.Level)
+}
+
+// Translation is the result of a successful software walk.
+type Translation struct {
+	PA   addr.PA
+	Perm perm.Perm
+	User bool
+}
+
+// TranslateSW performs an untimed software walk — the oracle for the
+// hardware walker and the monitor's bookkeeping tool.
+func (t *Table) TranslateSW(va addr.VA) (Translation, error) {
+	_, e, _, err := t.leafPTE(va)
+	if err != nil {
+		return Translation{}, err
+	}
+	return Translation{
+		PA:   e.Target() + addr.PA(va.Offset()),
+		Perm: e.Perm(),
+		User: e.User(),
+	}, nil
+}
+
+// Step is one PT-page reference of a hardware walk.
+type Step struct {
+	Level   int     // table level (Levels-1 .. 0)
+	PTEAddr addr.PA // physical address of the PTE fetched
+	PTPage  addr.PA // the PT page containing it
+}
+
+// WalkPath returns, in order, the PTE addresses a hardware walker touches
+// to translate va. It does not require the mapping to exist — the path is
+// truncated at the first invalid entry, mirroring hardware behaviour.
+func (t *Table) WalkPath(va addr.VA) ([]Step, error) {
+	var steps []Step
+	base := t.root
+	for level := t.Mode.Levels() - 1; level >= 0; level-- {
+		ea := t.pteAddr(base, va, level)
+		steps = append(steps, Step{Level: level, PTEAddr: ea, PTPage: base})
+		raw, err := t.mem.Read64(ea)
+		if err != nil {
+			return steps, err
+		}
+		e := PTE(raw)
+		if !e.Valid() || e.Leaf() {
+			return steps, nil
+		}
+		base = e.Target()
+	}
+	return steps, nil
+}

@@ -1,0 +1,299 @@
+package pt
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/perm"
+	"hpmp/internal/phys"
+)
+
+func newEnv(t *testing.T, mode addr.Mode) (*Table, *phys.Memory, *phys.FrameAllocator) {
+	t.Helper()
+	mem := phys.New(256 * addr.MiB)
+	ptAlloc := phys.NewFrameAllocator(addr.Range{Base: 0x100000, Size: 8 * addr.MiB}, false)
+	tbl, err := New(mem, ptAlloc, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, mem, ptAlloc
+}
+
+func TestPTEEncodeDecode(t *testing.T) {
+	leaf := MakeLeaf(0x8000_3000, perm.RW, true)
+	if !leaf.Valid() || !leaf.Leaf() || leaf.Perm() != perm.RW || !leaf.User() {
+		t.Errorf("leaf wrong: %v", leaf)
+	}
+	if leaf.Target() != 0x8000_3000 {
+		t.Errorf("Target = %#x", uint64(leaf.Target()))
+	}
+	ptr := MakePointer(0x4000)
+	if !ptr.Valid() || ptr.Leaf() || ptr.Target() != 0x4000 {
+		t.Errorf("pointer wrong: %v", ptr)
+	}
+}
+
+// Property: PTE leaf encode/decode round-trips frame, perm, and user bit.
+func TestPTERoundTripQuick(t *testing.T) {
+	f := func(frame uint32, pbits uint8, user bool) bool {
+		pa := addr.PA(uint64(frame) << addr.PageShift)
+		p := perm.Perm(pbits&0x7) | perm.R // leaf needs ≥1 perm bit
+		e := MakeLeaf(pa, p, user)
+		return e.Valid() && e.Leaf() && e.Perm() == p && e.User() == user && e.Target() == pa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapTranslate(t *testing.T) {
+	tbl, _, _ := newEnv(t, addr.Sv39)
+	va := addr.VA(0x40_0000_0000 - 0x1000) // high canonical positive VA
+	va = addr.VA(0x10_0000_0000)
+	pa := addr.PA(0x80_0000)
+	if err := tbl.Map(va, pa, perm.RW, true); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tbl.TranslateSW(va + 0x123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PA != pa+0x123 || tr.Perm != perm.RW || !tr.User {
+		t.Errorf("translation wrong: %+v", tr)
+	}
+}
+
+func TestTranslateFaults(t *testing.T) {
+	tbl, _, _ := newEnv(t, addr.Sv39)
+	_, err := tbl.TranslateSW(0x1234_5000)
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want FaultError, got %v", err)
+	}
+	if fe.Level != 2 {
+		t.Errorf("cold table faults at the root level, got %d", fe.Level)
+	}
+}
+
+func TestUnmapAndProtect(t *testing.T) {
+	tbl, _, _ := newEnv(t, addr.Sv39)
+	va, pa := addr.VA(0x7000_0000), addr.PA(0x90_0000)
+	if err := tbl.Map(va, pa, perm.RWX, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Protect(va, perm.R); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := tbl.TranslateSW(va)
+	if tr.Perm != perm.R {
+		t.Errorf("after Protect, perm = %v", tr.Perm)
+	}
+	got, err := tbl.Unmap(va)
+	if err != nil || got != pa {
+		t.Errorf("Unmap = %v, %v", got, err)
+	}
+	if _, err := tbl.TranslateSW(va); err == nil {
+		t.Error("translate after unmap must fault")
+	}
+}
+
+func TestNonCanonicalRejected(t *testing.T) {
+	tbl, _, _ := newEnv(t, addr.Sv39)
+	if err := tbl.Map(addr.VA(0x40_0000_0000), 0x1000, perm.R, false); err == nil {
+		t.Error("non-canonical VA must be rejected")
+	}
+}
+
+func TestWalkPathLengths(t *testing.T) {
+	for _, tc := range []struct {
+		mode   addr.Mode
+		levels int
+	}{{addr.Sv39, 3}, {addr.Sv48, 4}, {addr.Sv57, 5}} {
+		tbl, _, _ := newEnv(t, tc.mode)
+		va := addr.VA(0x10_0000)
+		if err := tbl.Map(va, 0x20_0000, perm.R, false); err != nil {
+			t.Fatal(err)
+		}
+		steps, err := tbl.WalkPath(va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A mapped 4 KiB page needs exactly Levels references — the paper's
+		// "three references for page table pages" for Sv39 (Fig. 2-a).
+		if len(steps) != tc.levels {
+			t.Errorf("%v walk = %d steps, want %d", tc.mode, len(steps), tc.levels)
+		}
+		for i, s := range steps {
+			if s.Level != tc.levels-1-i {
+				t.Errorf("%v step %d level = %d", tc.mode, i, s.Level)
+			}
+			if s.PTEAddr.PageBase() != s.PTPage {
+				t.Errorf("PTEAddr %v not inside PTPage %v", s.PTEAddr, s.PTPage)
+			}
+		}
+	}
+}
+
+func TestWalkPathTruncatesAtFault(t *testing.T) {
+	tbl, _, _ := newEnv(t, addr.Sv39)
+	steps, err := tbl.WalkPath(0x5555_5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 {
+		t.Errorf("unmapped VA should stop at the root: %d steps", len(steps))
+	}
+}
+
+func TestPTPagesContiguousWhenAllocatorIs(t *testing.T) {
+	// The §5 property Penglai-HPMP depends on: a sequential PT allocator
+	// puts every PT page in one contiguous region.
+	tbl, _, _ := newEnv(t, addr.Sv39)
+	for i := 0; i < 64; i++ {
+		va := addr.VA(uint64(i) * addr.GiB / 2) // spread across L2 entries
+		if err := tbl.Map(va, addr.PA(0x100_0000+uint64(i)*addr.PageSize), perm.RW, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pages := tbl.PTPages()
+	if len(pages) < 3 {
+		t.Fatalf("expected multiple PT pages, got %d", len(pages))
+	}
+	lo, hi := pages[0], pages[0]
+	for _, p := range pages {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	span := uint64(hi-lo) + addr.PageSize
+	if span != uint64(len(pages))*addr.PageSize {
+		t.Errorf("PT pages not contiguous: %d pages span %#x bytes", len(pages), span)
+	}
+}
+
+func TestMapOverwrite(t *testing.T) {
+	tbl, _, _ := newEnv(t, addr.Sv39)
+	va := addr.VA(0x1000)
+	tbl.Map(va, 0x10_0000, perm.R, false)
+	tbl.Map(va, 0x20_0000, perm.RW, false)
+	tr, _ := tbl.TranslateSW(va)
+	if tr.PA != 0x20_0000 || tr.Perm != perm.RW {
+		t.Errorf("remap did not take effect: %+v", tr)
+	}
+}
+
+// Property: Map then TranslateSW returns exactly the mapped frame plus
+// offset, for arbitrary canonical VAs.
+func TestMapTranslateQuick(t *testing.T) {
+	tbl, _, _ := newEnv(t, addr.Sv39)
+	f := func(vpn uint32, frame uint16, off uint16) bool {
+		va := addr.VA(uint64(vpn) << addr.PageShift) // ≤ 2^44, canonical for Sv39? 2^32<<12 = 2^44 > 2^38
+		va &= (1 << 38) - 1                          // keep positive-canonical
+		va = va.PageBase()
+		pa := addr.PA(0x100_0000 + uint64(frame)<<addr.PageShift)
+		if err := tbl.Map(va, pa, perm.RW, true); err != nil {
+			return false
+		}
+		tr, err := tbl.TranslateSW(va + addr.VA(uint64(off)%addr.PageSize))
+		return err == nil && tr.PA == pa+addr.PA(uint64(off)%addr.PageSize)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapSuper(t *testing.T) {
+	tbl, _, _ := newEnv(t, addr.Sv39)
+	// 2 MiB superpage.
+	va2m, pa2m := addr.VA(0x4000_0000), addr.PA(0x800_0000)
+	if err := tbl.MapSuper(va2m, pa2m, 1, perm.RW, true); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := tbl.WalkPath(va2m + 0x12_3456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 {
+		t.Errorf("2 MiB superpage walk = %d steps, want 2", len(steps))
+	}
+	// 1 GiB superpage in another slot.
+	if err := tbl.MapSuper(addr.VA(addr.GiB), addr.PA(0), 2, perm.R, false); err != nil {
+		t.Fatal(err)
+	}
+	steps, _ = tbl.WalkPath(addr.VA(addr.GiB) + 0xabc)
+	if len(steps) != 1 {
+		t.Errorf("1 GiB superpage walk = %d steps, want 1", len(steps))
+	}
+	// Misaligned and invalid-level requests fail.
+	if err := tbl.MapSuper(va2m+addr.PageSize, pa2m, 1, perm.R, false); err == nil {
+		t.Error("misaligned superpage must fail")
+	}
+	if err := tbl.MapSuper(va2m, pa2m, 0, perm.R, false); err == nil {
+		t.Error("level 0 is not a superpage")
+	}
+	if err := tbl.MapSuper(va2m, pa2m, 3, perm.R, false); err == nil {
+		t.Error("level 3 exceeds Sv39")
+	}
+	// A 4 KiB Map under an existing superpage is rejected.
+	if err := tbl.Map(va2m+0x1000, 0x900_0000, perm.R, false); err == nil {
+		t.Error("mapping under a superpage must fail")
+	}
+}
+
+func TestPTEString(t *testing.T) {
+	if PTE(0).String() != "PTE(invalid)" {
+		t.Errorf("invalid PTE string: %s", PTE(0))
+	}
+	ptr := MakePointer(0x4000)
+	if got := ptr.String(); got != "PTE(ptr→0x4000)" {
+		t.Errorf("pointer string: %s", got)
+	}
+	leaf := MakeLeaf(0x5000, perm.RW, true)
+	if got := leaf.String(); got != "PTE(0x5000 rw- u=true)" {
+		t.Errorf("leaf string: %s", got)
+	}
+}
+
+func TestErrorBranches(t *testing.T) {
+	mem := phys.New(256 * addr.MiB)
+	alloc := phys.NewFrameAllocator(addr.Range{Base: 0x100000, Size: 8 * addr.MiB}, false)
+	if _, err := New(mem, alloc, addr.Bare); err == nil {
+		t.Error("Bare mode has no page table")
+	}
+	tbl, _ := New(mem, alloc, addr.Sv39)
+	if _, err := tbl.Unmap(0x1234_0000); err == nil {
+		t.Error("Unmap of unmapped VA must fail")
+	}
+	if err := tbl.Protect(0x1234_0000, perm.R); err == nil {
+		t.Error("Protect of unmapped VA must fail")
+	}
+	// TranslateSW through a superpage reports the superpage error.
+	tbl.MapSuper(addr.VA(0x4000_0000), 0x800_0000, 1, perm.RW, true)
+	if _, err := tbl.TranslateSW(addr.VA(0x4000_0000)); err == nil {
+		t.Error("TranslateSW is a 4 KiB oracle; superpages must be reported")
+	}
+	// Exhausted PT allocator surfaces cleanly.
+	tiny := phys.NewFrameAllocator(addr.Range{Base: 0x900000, Size: addr.PageSize}, false)
+	tbl2, err := New(mem, tiny, addr.Sv39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl2.Map(0x1000, 0x800_0000, perm.R, false); err == nil {
+		t.Error("Map with an exhausted PT pool must fail")
+	}
+	if _, err := New(mem, tiny, addr.Sv39); err == nil {
+		t.Error("New with an exhausted pool must fail")
+	}
+}
+
+func TestFaultErrorMessage(t *testing.T) {
+	fe := &FaultError{VA: 0x1000, Level: 2}
+	if fe.Error() == "" {
+		t.Error("FaultError must render")
+	}
+}

@@ -1,0 +1,235 @@
+// Package ptw implements the hardware page-table walker (PTW) with its page
+// walk cache (PWC, "PTECache" in Table 1). On every PTE fetch that misses
+// the PWC, the walker first validates the PT page's physical address through
+// the attached physical-memory checker — this is precisely the "extra
+// dimension" the paper measures: with a permission table, each of the three
+// Sv39 PT-page references costs two additional pmpte references (Fig. 2-c),
+// while HPMP's segment mode validates them for free (Fig. 4).
+package ptw
+
+import (
+	"fmt"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/hpmp"
+	"hpmp/internal/memport"
+	"hpmp/internal/perm"
+	"hpmp/internal/pt"
+	"hpmp/internal/stats"
+)
+
+// Checker validates physical addresses; *hpmp.Checker implements it. A nil
+// checker means physical memory isolation is disabled (Fig. 2-a).
+type Checker interface {
+	Check(pa addr.PA, size uint64, k perm.Access, priv perm.Priv, now uint64) (hpmp.Result, error)
+}
+
+// Result reports one hardware walk.
+type Result struct {
+	Translation pt.Translation
+	PageFault   bool // invalid/missing mapping (kernel must handle)
+	AccessFault bool // a PT-page reference failed the physical checker
+	FaultLevel  int  // level at which the walk stopped
+
+	Latency     uint64 // total core cycles: PTE fetches + PT-page checks
+	PTRefs      int    // PTE fetches that reached the memory system
+	PTCheckRefs int    // permission-table references spent validating PT pages
+	PWCHits     int    // PTE fetches served by the PWC
+}
+
+// TotalRefs returns all memory references the walk performed.
+func (r Result) TotalRefs() int { return r.PTRefs + r.PTCheckRefs }
+
+// Walker is the PTW attached to one hart.
+type Walker struct {
+	Mode    addr.Mode
+	Port    memport.Port
+	Checker Checker // may be nil
+	PWC     *PWC    // may be nil
+	// Priv is the privilege the walker's own PT accesses are checked at.
+	// Page tables are kernel data structures, so S.
+	Priv perm.Priv
+
+	Counters stats.Counters
+}
+
+// New builds a walker for the given translation mode with an n-entry PWC
+// (n=0 disables the PWC).
+func New(mode addr.Mode, port memport.Port, checker Checker, pwcEntries int) *Walker {
+	w := &Walker{Mode: mode, Port: port, Checker: checker, Priv: perm.S}
+	if pwcEntries > 0 {
+		w.PWC = NewPWC(pwcEntries)
+	}
+	return w
+}
+
+// Walk translates va starting from the page table rooted at root, issuing
+// memory references at core-cycle now.
+func (w *Walker) Walk(root addr.PA, va addr.VA, now uint64) (Result, error) {
+	var res Result
+	if !w.Mode.Canonical(va) {
+		res.PageFault = true
+		res.FaultLevel = w.Mode.Levels() - 1
+		return res, nil
+	}
+	base := root
+	for level := w.Mode.Levels() - 1; level >= 0; level-- {
+		pteAddr := base + addr.PA(w.Mode.VPN(va, level)*8)
+		raw, hit, err := w.fetchPTE(pteAddr, now, &res)
+		if err != nil {
+			return res, err
+		}
+		if !hit && res.AccessFault {
+			res.FaultLevel = level
+			w.Counters.Inc("ptw.access_fault")
+			return res, nil
+		}
+		e := pt.PTE(raw)
+		if !e.Valid() {
+			res.PageFault = true
+			res.FaultLevel = level
+			w.Counters.Inc("ptw.page_fault")
+			return res, nil
+		}
+		if e.Leaf() {
+			if level != 0 {
+				// Superpage: align the frame to the superpage boundary.
+				span := uint64(1) << (addr.PageShift + 9*level)
+				frameBase := uint64(e.Target()) &^ (span - 1)
+				off := uint64(va) & (span - 1) &^ uint64(addr.PageMask)
+				res.Translation = pt.Translation{
+					PA:   addr.PA(frameBase+off) + addr.PA(va.Offset()),
+					Perm: e.Perm(),
+					User: e.User(),
+				}
+			} else {
+				res.Translation = pt.Translation{
+					PA:   e.Target() + addr.PA(va.Offset()),
+					Perm: e.Perm(),
+					User: e.User(),
+				}
+			}
+			w.Counters.Inc("ptw.walk_ok")
+			return res, nil
+		}
+		if level == 0 {
+			res.PageFault = true
+			res.FaultLevel = 0
+			return res, nil
+		}
+		base = e.Target()
+	}
+	return res, fmt.Errorf("ptw: walk fell through for %v", va)
+}
+
+// fetchPTE returns the PTE word at pteAddr. PWC hits cost nothing and skip
+// the physical check (the entry was validated at fill time). On a PWC miss
+// the PT-page address is validated through the checker before the fetch;
+// res.AccessFault is set when the check denies.
+func (w *Walker) fetchPTE(pteAddr addr.PA, now uint64, res *Result) (raw uint64, pwcHit bool, err error) {
+	if w.PWC != nil {
+		if v, ok := w.PWC.Lookup(pteAddr); ok {
+			res.PWCHits++
+			w.Counters.Inc("ptw.pwc_hit")
+			return v, true, nil
+		}
+	}
+	if w.Checker != nil {
+		chk, err := w.Checker.Check(pteAddr, 8, perm.Read, w.Priv, now+res.Latency)
+		if err != nil {
+			return 0, false, err
+		}
+		res.Latency += chk.Latency
+		res.PTCheckRefs += chk.MemRefs
+		if !chk.Allowed {
+			res.AccessFault = true
+			return 0, false, nil
+		}
+	}
+	v, lat, err := w.Port.Read64(pteAddr, now+res.Latency)
+	if err != nil {
+		return 0, false, err
+	}
+	res.Latency += lat
+	res.PTRefs++
+	w.Counters.Inc("ptw.pte_fetch")
+	// Only valid entries are cached — a PWC never caches faults, or a
+	// later mapping of the page would be invisible until a flush.
+	if w.PWC != nil && pt.PTE(v).Valid() {
+		w.PWC.Insert(pteAddr, v)
+	}
+	return v, false, nil
+}
+
+// FlushPWC empties the page walk cache (sfence.vma side effect).
+func (w *Walker) FlushPWC() {
+	if w.PWC != nil {
+		w.PWC.Invalidate()
+	}
+}
+
+// PWC is the page walk cache: a small fully-associative LRU cache of PTE
+// words keyed by PTE physical address. Table 1's "PTECache" is 8 entries;
+// Fig. 17 grows it to 32.
+type PWC struct {
+	entries []pwcEntry
+	tick    uint64
+}
+
+type pwcEntry struct {
+	pa   addr.PA
+	val  uint64
+	lru  uint64
+	used bool
+}
+
+// NewPWC builds a PWC with n entries.
+func NewPWC(n int) *PWC { return &PWC{entries: make([]pwcEntry, n)} }
+
+// Len returns the capacity.
+func (c *PWC) Len() int { return len(c.entries) }
+
+// Lookup probes for the PTE at pa.
+func (c *PWC) Lookup(pa addr.PA) (uint64, bool) {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.used && e.pa == pa {
+			c.tick++
+			e.lru = c.tick
+			return e.val, true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds or refreshes the PTE at pa, evicting LRU.
+func (c *PWC) Insert(pa addr.PA, val uint64) {
+	c.tick++
+	vi := 0
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.used && e.pa == pa {
+			e.val, e.lru = val, c.tick
+			return
+		}
+		if !e.used {
+			vi = i
+			goto place
+		}
+		if e.lru < c.entries[vi].lru {
+			vi = i
+		}
+	}
+place:
+	c.entries[vi] = pwcEntry{pa: pa, val: val, lru: c.tick, used: true}
+}
+
+// Invalidate clears the cache.
+func (c *PWC) Invalidate() {
+	for i := range c.entries {
+		c.entries[i] = pwcEntry{}
+	}
+}
+
+// Warm inserts a PTE without statistics, for Table 2 state priming.
+func (c *PWC) Warm(pa addr.PA, val uint64) { c.Insert(pa, val) }

@@ -1,0 +1,227 @@
+// Package stats provides the counters, histograms, and table-rendering
+// helpers that every experiment in the benchmark harness shares. All state is
+// deterministic — no wall-clock time is consulted — so experiment output is
+// reproducible run to run.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is an ordered set of named uint64 counters. The zero value is
+// ready to use.
+type Counters struct {
+	order []string
+	vals  map[string]uint64
+}
+
+// Add increments the named counter by n, creating it on first use.
+func (c *Counters) Add(name string, n uint64) {
+	if c.vals == nil {
+		c.vals = make(map[string]uint64)
+	}
+	if _, ok := c.vals[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.vals[name] += n
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the counter's value (zero if it was never touched).
+func (c *Counters) Get(name string) uint64 { return c.vals[name] }
+
+// Names returns the counter names in first-use order.
+func (c *Counters) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Reset zeroes every counter but keeps the name order.
+func (c *Counters) Reset() {
+	for k := range c.vals {
+		c.vals[k] = 0
+	}
+}
+
+// Merge adds every counter of o into c.
+func (c *Counters) Merge(o *Counters) {
+	for _, name := range o.order {
+		c.Add(name, o.vals[name])
+	}
+}
+
+// String renders the counters as "name=value" pairs in first-use order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, name := range c.order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, c.vals[name])
+	}
+	return b.String()
+}
+
+// Histogram is a fixed-bucket latency histogram with power-of-two-ish bucket
+// edges, used for cycle-latency distributions.
+type Histogram struct {
+	edges  []uint64
+	counts []uint64
+	sum    uint64
+	n      uint64
+	max    uint64
+	min    uint64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// edges; values above the last edge land in an implicit overflow bucket.
+func NewHistogram(edges ...uint64) *Histogram {
+	if !sort.SliceIsSorted(edges, func(i, j int) bool { return edges[i] < edges[j] }) {
+		panic("stats: histogram edges must be ascending")
+	}
+	return &Histogram{edges: edges, counts: make([]uint64, len(edges)+1)}
+}
+
+// DefaultLatencyHistogram covers 1 cycle to ~4K cycles, which spans every
+// latency the simulator produces.
+func DefaultLatencyHistogram() *Histogram {
+	return NewHistogram(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.edges), func(i int) bool { return v <= h.edges[i] })
+	h.counts[i]++
+	h.sum += v
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min returns the smallest observation (0 if empty).
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest observation (0 if empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an approximation of the q-quantile (0 ≤ q ≤ 1) using the
+// bucket upper edges.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			if i < len(h.edges) {
+				return h.edges[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Ratio returns 100*num/den as a percentage, or 0 when den is zero. It is
+// the normalization the paper applies everywhere ("normalized to Segment").
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * num / den
+}
+
+// Overhead returns the percentage by which v exceeds base ((v-base)/base).
+func Overhead(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (v - base) / base
+}
+
+// Reduction returns the fraction of (slow-fast) overhead over base that mid
+// removes: 100*(slow-mid)/(slow-base). It is the paper's "HPMP reduces X% of
+// the costs of extra-dimensional page walks" metric.
+func Reduction(slow, mid, base float64) float64 {
+	if slow == base {
+		return 0
+	}
+	return 100 * (slow - mid) / (slow - base)
+}
+
+// GeoMean returns the geometric mean of positive values (arithmetic mean of
+// logs); non-positive entries are skipped.
+func GeoMean(vals []float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return pow(prod, 1/float64(n))
+}
+
+func pow(x, y float64) float64 {
+	// Tiny stdlib-free approximation via exp/log would drag in math anyway;
+	// use math. (Kept in a helper so GeoMean reads cleanly.)
+	return mathPow(x, y)
+}
+
+// Mean returns the arithmetic mean of the values (0 if empty).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// MinMax returns the smallest and largest of the values.
+func MinMax(vals []float64) (min, max float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	min, max = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}

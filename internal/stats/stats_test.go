@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Inc("a")
+	c.Add("b", 5)
+	c.Inc("a")
+	if c.Get("a") != 2 || c.Get("b") != 5 || c.Get("missing") != 0 {
+		t.Errorf("counter values wrong: %v", c.String())
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names order wrong: %v", names)
+	}
+	var d Counters
+	d.Add("b", 1)
+	d.Add("c", 3)
+	c.Merge(&d)
+	if c.Get("b") != 6 || c.Get("c") != 3 {
+		t.Errorf("Merge wrong: %v", c.String())
+	}
+	c.Reset()
+	if c.Get("a") != 0 || len(c.Names()) != 3 {
+		t.Error("Reset must zero values but keep names")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []uint64{1, 5, 10, 11, 99, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 5000 {
+		t.Errorf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	wantMean := float64(1+5+10+11+99+500+5000) / 7
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	if q := h.Quantile(0.5); q != 100 {
+		t.Errorf("median bucket edge = %d, want 100", q)
+	}
+}
+
+func TestHistogramPanicsOnUnsortedEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unsorted edges")
+		}
+	}()
+	NewHistogram(10, 5)
+}
+
+func TestRatios(t *testing.T) {
+	if Ratio(150, 100) != 150 {
+		t.Error("Ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio must guard zero denominator")
+	}
+	if Overhead(120, 100) != 20 {
+		t.Error("Overhead wrong")
+	}
+	// HPMP removes (slow-mid)/(slow-base): PMPT=200, HPMP=130, PMP=100 → 70%.
+	if got := Reduction(200, 130, 100); math.Abs(got-70) > 1e-9 {
+		t.Errorf("Reduction = %v, want 70", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	vals := []float64{1, 2, 4}
+	if Mean(vals) != 7.0/3 {
+		t.Error("Mean wrong")
+	}
+	if g := GeoMean(vals); math.Abs(g-2) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 2", g)
+	}
+	min, max := MinMax(vals)
+	if min != 1 || max != 4 {
+		t.Error("MinMax wrong")
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty aggregates must be 0")
+	}
+}
+
+// Property: Mean lies within [Min, Max] of the observed set.
+func TestHistogramMeanBoundsQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := DefaultLatencyHistogram()
+		for _, v := range raw {
+			h.Observe(uint64(v))
+		}
+		return h.Mean() >= float64(h.Min()) && h.Mean() <= float64(h.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.Render()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.50") {
+		t.Errorf("missing cells in:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Error("NumRows wrong")
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "Name,Value\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.AddRow(`va"lue,with`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"va""lue,with"`) {
+		t.Errorf("CSV escaping wrong: %q", csv)
+	}
+}

@@ -1,0 +1,157 @@
+// Package tlb models the translation lookaside buffers of Table 1: 32-entry
+// fully-associative L1 I/D TLBs and a 1024-entry direct-mapped L2 TLB.
+//
+// Entries implement the paper's "TLB inlining" optimization (§2.2): when the
+// MMU fills a translation it also stores the physical-memory permission
+// obtained from the HPMP/PMP-Table check, so a TLB hit requires no checker
+// access at all — "the permission table is only required for TLB miss
+// cases". Both the baselines and HPMP get this optimization, as in the
+// paper's implementation (§7).
+package tlb
+
+import (
+	"hpmp/internal/addr"
+	"hpmp/internal/perm"
+	"hpmp/internal/stats"
+)
+
+// Entry is one cached translation.
+type Entry struct {
+	VPN  uint64    // virtual page number
+	PFN  uint64    // physical frame number
+	Perm perm.Perm // page-table permission (R/W/X of the leaf PTE)
+	User bool      // PTE U bit
+	// PhysPerm is the inlined physical-memory-isolation permission fetched
+	// from HPMP at fill time.
+	PhysPerm perm.Perm
+	valid    bool
+	lru      uint64
+}
+
+// L1 is a fully-associative TLB with true-LRU replacement.
+type L1 struct {
+	name    string
+	entries []Entry
+	tick    uint64
+
+	Counters stats.Counters
+}
+
+// NewL1 builds a fully-associative TLB with n entries.
+func NewL1(name string, n int) *L1 {
+	return &L1{name: name, entries: make([]Entry, n)}
+}
+
+// Lookup returns the entry translating vpn.
+func (t *L1) Lookup(vpn uint64) (Entry, bool) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.VPN == vpn {
+			t.tick++
+			e.lru = t.tick
+			t.Counters.Inc(t.name + ".hit")
+			return *e, true
+		}
+	}
+	t.Counters.Inc(t.name + ".miss")
+	return Entry{}, false
+}
+
+// Insert fills an entry, evicting true-LRU.
+func (t *L1) Insert(e Entry) {
+	t.tick++
+	e.valid = true
+	e.lru = t.tick
+	vi := 0
+	for i := range t.entries {
+		cur := &t.entries[i]
+		if cur.valid && cur.VPN == e.VPN {
+			*cur = e
+			return
+		}
+		if !cur.valid {
+			vi = i
+			goto place
+		}
+		if cur.lru < t.entries[vi].lru {
+			vi = i
+		}
+	}
+place:
+	t.entries[vi] = e
+}
+
+// FlushAll invalidates every entry (sfence.vma with no arguments, and the
+// monitor's mandatory flush after HPMP updates, §5).
+func (t *L1) FlushAll() {
+	for i := range t.entries {
+		t.entries[i] = Entry{}
+	}
+}
+
+// FlushVPN invalidates the entry for one page (sfence.vma with an address).
+func (t *L1) FlushVPN(vpn uint64) {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].VPN == vpn {
+			t.entries[i] = Entry{}
+		}
+	}
+}
+
+// Len returns the capacity.
+func (t *L1) Len() int { return len(t.entries) }
+
+// L2 is a direct-mapped second-level TLB.
+type L2 struct {
+	name    string
+	entries []Entry
+	Latency uint64 // extra cycles to consult the L2 TLB
+
+	Counters stats.Counters
+}
+
+// NewL2 builds a direct-mapped TLB with n entries (n must be a power of
+// two) and the given access latency.
+func NewL2(name string, n int, latency uint64) *L2 {
+	if !addr.IsPow2(uint64(n)) {
+		panic("tlb: L2 size must be a power of two")
+	}
+	return &L2{name: name, entries: make([]Entry, n), Latency: latency}
+}
+
+func (t *L2) slot(vpn uint64) *Entry { return &t.entries[vpn%uint64(len(t.entries))] }
+
+// Lookup probes the direct-mapped array.
+func (t *L2) Lookup(vpn uint64) (Entry, bool) {
+	e := t.slot(vpn)
+	if e.valid && e.VPN == vpn {
+		t.Counters.Inc(t.name + ".hit")
+		return *e, true
+	}
+	t.Counters.Inc(t.name + ".miss")
+	return Entry{}, false
+}
+
+// Insert fills the slot for e.VPN (direct-mapped: unconditional replace).
+func (t *L2) Insert(e Entry) {
+	e.valid = true
+	*t.slot(e.VPN) = e
+}
+
+// FlushAll invalidates every entry.
+func (t *L2) FlushAll() {
+	for i := range t.entries {
+		t.entries[i] = Entry{}
+	}
+}
+
+// FlushVPN invalidates the slot if it holds vpn.
+func (t *L2) FlushVPN(vpn uint64) {
+	e := t.slot(vpn)
+	if e.valid && e.VPN == vpn {
+		*e = Entry{}
+	}
+}
+
+// Len returns the capacity.
+func (t *L2) Len() int { return len(t.entries) }

@@ -1,0 +1,292 @@
+package virt
+
+import (
+	"testing"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/cpu"
+	"hpmp/internal/hpmp"
+	"hpmp/internal/perm"
+	"hpmp/internal/phys"
+	"hpmp/internal/pmpt"
+)
+
+type vmode int
+
+const (
+	vNone    vmode = iota // no physical memory isolation
+	vPMP                  // segments cover everything
+	vPMPT                 // table covers everything
+	vHPMP                 // table + segment over NPT pages
+	vHPMPGPT              // table + segments over NPT and gPT host pages
+)
+
+type rig struct {
+	mach *cpu.Machine
+	hyp  *Hypervisor
+	gva  addr.VA
+}
+
+const memSize = 512 * addr.MiB
+
+// Physical layout for the virtualization experiments.
+var (
+	nptRegion  = addr.Range{Base: 0x0100_0000, Size: 4 * addr.MiB}  // hypervisor NPT pool
+	gptRegion  = addr.Range{Base: 0x0180_0000, Size: 4 * addr.MiB}  // host frames backing gPT pages
+	dataRegion = addr.Range{Base: 0x0800_0000, Size: 64 * addr.MiB} // guest data frames
+	tblRegion  = addr.Range{Base: 0x0400_0000, Size: 16 * addr.MiB} // permission-table pages
+)
+
+func newRig(t *testing.T, mode vmode) *rig {
+	t.Helper()
+	mach := cpu.NewMachine(cpu.RocketPlatform(), memSize)
+
+	nptAlloc := phys.NewFrameAllocator(nptRegion, false)
+	gptAlloc := phys.NewFrameAllocator(gptRegion, false)
+	dataAlloc := phys.NewFrameAllocator(dataRegion, false)
+	tblAlloc := phys.NewFrameAllocator(tblRegion, false)
+
+	npt, err := NewNestedTable(mach.Mem, nptAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest, err := NewGuestTable(mach.Mem, npt, 0x4000_0000, 256, gptAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var checker *hpmp.Checker
+	if mode != vNone {
+		checker = mach.Checker
+		all := addr.Range{Base: 0, Size: memSize}
+		switch mode {
+		case vPMP:
+			if err := checker.SetSegment(0, all, perm.RWX, false); err != nil {
+				t.Fatal(err)
+			}
+		case vPMPT, vHPMP, vHPMPGPT:
+			ptab, err := pmpt.NewTable(mach.Mem, tblAlloc, all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ptab.SetRangePermPaged(all, perm.RWX); err != nil {
+				t.Fatal(err)
+			}
+			entry := 0
+			if mode == vHPMP || mode == vHPMPGPT {
+				if err := checker.SetSegment(0, nptRegion, perm.RW, false); err != nil {
+					t.Fatal(err)
+				}
+				entry = 1
+			}
+			if mode == vHPMPGPT {
+				if err := checker.SetSegment(1, gptRegion, perm.RW, false); err != nil {
+					t.Fatal(err)
+				}
+				entry = 2
+			}
+			if err := checker.SetTable(entry, all, ptab.RootBase()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var chk *hpmp.Checker = checker
+	var hyp *Hypervisor
+	if chk == nil {
+		hyp = NewHypervisor(mach, nil, npt, guest)
+	} else {
+		hyp = NewHypervisor(mach, chk, npt, guest)
+	}
+
+	// One guest data page.
+	gva := addr.VA(0x1000_0000)
+	dataGPA := addr.GPA(0x8000_0000)
+	dataPA, err := dataAlloc.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := npt.Map(dataGPA, dataPA, perm.RW); err != nil {
+		t.Fatal(err)
+	}
+	if err := guest.Map(gva, dataGPA, perm.RW); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{mach: mach, hyp: hyp, gva: gva}
+}
+
+// TestFigure8ReferenceCounts asserts the 3-D walk arithmetic of §6.
+func TestFigure8ReferenceCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		mode vmode
+		want int
+	}{
+		{"NoIsolation_16", vNone, 16},
+		{"PMP_16", vPMP, 16},
+		{"PMPT_48", vPMPT, 48},
+		{"HPMP_24", vHPMP, 24},
+		{"HPMPGPT_18", vHPMPGPT, 18},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t, tc.mode)
+			r.hyp.DisableWalkCaches() // ISA counts assume no PWC (footnote 1)
+			res, err := r.hyp.AccessGuest(r.gva, perm.Read, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.PageFault || res.AccessFault {
+				t.Fatalf("fault: %+v", res)
+			}
+			if got := res.TotalRefs(); got != tc.want {
+				t.Errorf("TotalRefs = %d, want %d (NPT=%d gPT=%d chk=%d data=%d)",
+					got, tc.want, res.NPTRefs, res.GPTRefs, res.CheckRefs, res.DataRefs)
+			}
+			// The structural split is also fixed: 12 NPT + 3 gPT + 1 data.
+			if res.NPTRefs != 12 || res.GPTRefs != 3 || res.DataRefs != 1 {
+				t.Errorf("split = %d/%d/%d, want 12/3/1", res.NPTRefs, res.GPTRefs, res.DataRefs)
+			}
+		})
+	}
+}
+
+func TestGuestTranslationCorrect(t *testing.T) {
+	r := newRig(t, vNone)
+	res, err := r.hyp.AccessGuest(r.gva+0x1a8, perm.Read, 0)
+	if err != nil || res.PageFault {
+		t.Fatalf("%+v %v", res, err)
+	}
+	// Oracle: gva → gpa → pa.
+	wantPA, err := r.hyp.NPT.TranslateSW(addr.GPA(0x8000_0000) + 0x1a8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PA != wantPA {
+		t.Errorf("PA = %v, want %v", res.PA, wantPA)
+	}
+}
+
+func TestGTLBHit(t *testing.T) {
+	r := newRig(t, vPMPT)
+	r1, _ := r.hyp.AccessGuest(r.gva, perm.Read, 0)
+	if r1.TLBHit {
+		t.Fatal("first access must miss")
+	}
+	r2, _ := r.hyp.AccessGuest(r.gva, perm.Read, 1000)
+	if !r2.TLBHit {
+		t.Fatal("second access must hit the guest TLB")
+	}
+	if r2.TotalRefs() != 1 {
+		t.Errorf("TLB hit refs = %d, want 1 (data only)", r2.TotalRefs())
+	}
+	if r2.Latency >= r1.Latency {
+		t.Error("TLB hit must be much cheaper")
+	}
+}
+
+func TestHFenceVVMAKeepsNPTState(t *testing.T) {
+	r := newRig(t, vPMPT)
+	r.hyp.AccessGuest(r.gva, perm.Read, 0)
+	r.hyp.HFenceVVMA()
+	res, _ := r.hyp.AccessGuest(r.gva, perm.Read, 1000)
+	if res.TLBHit {
+		t.Fatal("hfence.vvma must kill the combined translation")
+	}
+	// NPT translations survive in the NPTLB: no nested PTE fetches, only
+	// the 3 guest PTE fetches and the data access.
+	if res.NPTRefs != 0 {
+		t.Errorf("after hfence.vvma NPT walks should hit the NPTLB, got %d refs", res.NPTRefs)
+	}
+	if res.GPTRefs != 3 {
+		t.Errorf("gPT refs = %d, want 3", res.GPTRefs)
+	}
+
+	// hfence.gvma kills second-stage state too: the nested walks re-run.
+	// With the PWC enabled, upper NPT levels shared by the four nested
+	// walks dedupe within the single 3-D walk: 3 + 1 + 1 + 3 = 8 fetches.
+	r.hyp.HFenceGVMA()
+	res, _ = r.hyp.AccessGuest(r.gva, perm.Read, 2000)
+	if res.NPTRefs != 8 {
+		t.Errorf("after hfence.gvma the nested walk must re-run: %d refs, want 8", res.NPTRefs)
+	}
+}
+
+func TestVirtLatencyOrdering(t *testing.T) {
+	// Fig. 13 ordering on a cold access: PMP ≤ HPMP-GPT ≤ HPMP < PMPT.
+	lat := map[vmode]uint64{}
+	for _, m := range []vmode{vPMP, vPMPT, vHPMP, vHPMPGPT} {
+		r := newRig(t, m)
+		res, err := r.hyp.AccessGuest(r.gva, perm.Read, 0)
+		if err != nil || res.PageFault || res.AccessFault {
+			t.Fatalf("mode %d: %+v %v", m, res, err)
+		}
+		lat[m] = res.Latency
+	}
+	if !(lat[vPMP] <= lat[vHPMPGPT] && lat[vHPMPGPT] <= lat[vHPMP] && lat[vHPMP] < lat[vPMPT]) {
+		t.Errorf("ordering violated: PMP=%d HPMP-GPT=%d HPMP=%d PMPT=%d",
+			lat[vPMP], lat[vHPMPGPT], lat[vHPMP], lat[vPMPT])
+	}
+}
+
+func TestNestedTableX4Root(t *testing.T) {
+	mach := cpu.NewMachine(cpu.RocketPlatform(), memSize)
+	alloc := phys.NewFrameAllocator(nptRegion, false)
+	npt, err := NewNestedTable(mach.Mem, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A GPA above 512 GiB-of-Sv39 reach but within Sv39x4's 41 bits uses
+	// the extended root index.
+	bigGPA := addr.GPA(uint64(600) * addr.GiB)
+	if err := npt.Map(bigGPA, 0x900_0000, perm.RW); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := npt.TranslateSW(bigGPA + 0x10)
+	if err != nil || pa != 0x900_0010 {
+		t.Errorf("x4 translation = %v, %v", pa, err)
+	}
+	// Root index for 600 GiB is 600 (> 511): only representable with the
+	// 11-bit root.
+	if idx := npt.idx(bigGPA, 2); idx != 600 {
+		t.Errorf("root index = %d, want 600", idx)
+	}
+}
+
+func TestGuestPageFaults(t *testing.T) {
+	r := newRig(t, vNone)
+	res, err := r.hyp.AccessGuest(0x3fff_0000, perm.Read, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PageFault {
+		t.Error("unmapped guest VA must fault")
+	}
+	// Guest permission is honored: write to an RW page is fine, but the
+	// mapped page is RW so probe Fetch instead.
+	res, err = r.hyp.AccessGuest(r.gva, perm.Fetch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PageFault {
+		t.Error("fetch from an rw- guest page must fault")
+	}
+}
+
+func TestGuestPTHostPagesContiguity(t *testing.T) {
+	// For HPMP-GPT the host frames backing guest PT pages must land in the
+	// contiguous gpt region (what the guest-notify extension buys).
+	r := newRig(t, vHPMPGPT)
+	pages, err := r.hyp.Guest.PTHostPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) < 3 {
+		t.Fatalf("guest table should have ≥3 PT pages, got %d", len(pages))
+	}
+	for _, pa := range pages {
+		if !gptRegion.Contains(pa) {
+			t.Errorf("guest PT host page %v outside %v", pa, gptRegion)
+		}
+	}
+}

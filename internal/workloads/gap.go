@@ -1,0 +1,489 @@
+package workloads
+
+import (
+	"fmt"
+
+	"hpmp/internal/kernel"
+)
+
+// The GAP benchmark suite (§8.3): six graph kernels over a Kronecker
+// (graph500-style) synthetic graph in CSR form. The paper runs scale-20
+// Kron; we default to a smaller scale (documented substitution) — the
+// kernels, graph generator, and CSR layout follow the GAP reference
+// semantics.
+
+// Graph is a CSR graph in simulated memory.
+type Graph struct {
+	N      int
+	M      int
+	rowPtr *U32Array // N+1
+	colIdx *U32Array // M
+	e      *kernel.Env
+}
+
+// GenKronecker builds a Kronecker graph with 2^scale vertices and
+// edgeFactor edges per vertex (undirected: each edge stored both ways),
+// using the graph500 R-MAT parameters (A=0.57, B=0.19, C=0.19).
+func GenKronecker(e *kernel.Env, scale, edgeFactor int, seed uint64) (*Graph, error) {
+	n := 1 << scale
+	mDirected := n * edgeFactor
+	r := newRNG(seed)
+
+	// Generate edges host-side (the generator is not the benchmark), then
+	// place the CSR into simulated memory.
+	type edge struct{ u, v uint32 }
+	edges := make([]edge, 0, mDirected*2)
+	for i := 0; i < mDirected; i++ {
+		var u, v int
+		for bit := 0; bit < scale; bit++ {
+			p := r.next() % 100
+			// Quadrant probabilities: A=57, B=19, C=19, D=5.
+			switch {
+			case p < 57:
+				// (0,0)
+			case p < 76:
+				v |= 1 << bit
+			case p < 95:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, edge{uint32(u), uint32(v)}, edge{uint32(v), uint32(u)})
+	}
+	// Count degrees, build CSR.
+	deg := make([]int, n)
+	for _, ed := range edges {
+		deg[ed.u]++
+	}
+	rowHost := make([]uint32, n+1)
+	for i := 0; i < n; i++ {
+		rowHost[i+1] = rowHost[i] + uint32(deg[i])
+	}
+	colHost := make([]uint32, len(edges))
+	cursor := make([]uint32, n)
+	copy(cursor, rowHost[:n])
+	for _, ed := range edges {
+		colHost[cursor[ed.u]] = ed.v
+		cursor[ed.u]++
+	}
+
+	g := &Graph{N: n, M: len(edges), e: e}
+	g.rowPtr = NewU32Array(e, n+1)
+	g.colIdx = NewU32Array(e, len(edges))
+	for i, v := range rowHost {
+		if err := g.rowPtr.Set(i, v); err != nil {
+			return nil, err
+		}
+	}
+	for i, v := range colHost {
+		if err := g.colIdx.Set(i, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Neighbors iterates the out-neighbours of u through simulated memory.
+func (g *Graph) Neighbors(u int, f func(v int) error) error {
+	lo, err := g.rowPtr.Get(u)
+	if err != nil {
+		return err
+	}
+	hi, err := g.rowPtr.Get(u + 1)
+	if err != nil {
+		return err
+	}
+	for i := lo; i < hi; i++ {
+		v, err := g.colIdx.Get(int(i))
+		if err != nil {
+			return err
+		}
+		if err := f(int(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Degree returns the out-degree of u.
+func (g *Graph) Degree(u int) (int, error) {
+	lo, err := g.rowPtr.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := g.rowPtr.Get(u + 1)
+	if err != nil {
+		return 0, err
+	}
+	return int(hi - lo), nil
+}
+
+// GAPWorkload wraps one kernel with its graph parameters.
+type GAPWorkload struct {
+	Kernel     string // "bfs", "cc", "pr", "sssp", "tc", "bc"
+	Scale      int
+	EdgeFactor int
+}
+
+// GAPSuite returns the six kernels at the default scaled size.
+func GAPSuite(scale int) []Workload {
+	if scale == 0 {
+		scale = 10
+	}
+	kernels := []string{"bc", "bfs", "cc", "pr", "sssp", "tc"}
+	out := make([]Workload, len(kernels))
+	for i, k := range kernels {
+		out[i] = &GAPWorkload{Kernel: k, Scale: scale, EdgeFactor: 8}
+	}
+	return out
+}
+
+// Name implements Workload.
+func (w *GAPWorkload) Name() string { return w.Kernel + "-kron" }
+
+// Run implements Workload.
+func (w *GAPWorkload) Run(e *kernel.Env) (uint64, error) {
+	g, err := GenKronecker(e, w.Scale, w.EdgeFactor, 0x5eed)
+	if err != nil {
+		return 0, err
+	}
+	switch w.Kernel {
+	case "bfs":
+		return bfs(e, g, 1)
+	case "cc":
+		return connectedComponents(e, g)
+	case "pr":
+		return pageRank(e, g, 10)
+	case "sssp":
+		return sssp(e, g, 1)
+	case "tc":
+		return triangleCount(e, g)
+	case "bc":
+		return betweenness(e, g, 2)
+	default:
+		return 0, fmt.Errorf("gap: unknown kernel %q", w.Kernel)
+	}
+}
+
+// bfs runs a top-down breadth-first search and returns the sum of depths.
+func bfs(e *kernel.Env, g *Graph, src int) (uint64, error) {
+	depth := NewU32Array(e, g.N)
+	for i := 0; i < g.N; i++ {
+		depth.Set(i, 0xffffffff)
+	}
+	queue := NewU32Array(e, g.N)
+	head, tail := 0, 0
+	depth.Set(src, 0)
+	queue.Set(tail, uint32(src))
+	tail++
+	for head < tail {
+		uv, err := queue.Get(head)
+		if err != nil {
+			return 0, err
+		}
+		head++
+		u := int(uv)
+		du, _ := depth.Get(u)
+		err = g.Neighbors(u, func(v int) error {
+			dv, err := depth.Get(v)
+			if err != nil {
+				return err
+			}
+			if dv == 0xffffffff {
+				if err := depth.Set(v, du+1); err != nil {
+					return err
+				}
+				if err := queue.Set(tail, uint32(v)); err != nil {
+					return err
+				}
+				tail++
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	var sum uint64
+	for i := 0; i < g.N; i++ {
+		d, _ := depth.Get(i)
+		if d != 0xffffffff {
+			sum += uint64(d)
+		}
+	}
+	return sum, nil
+}
+
+// connectedComponents is the Shiloach-Vishkin style label-propagation CC.
+func connectedComponents(e *kernel.Env, g *Graph) (uint64, error) {
+	comp := NewU32Array(e, g.N)
+	for i := 0; i < g.N; i++ {
+		comp.Set(i, uint32(i))
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < g.N; u++ {
+			cu, err := comp.Get(u)
+			if err != nil {
+				return 0, err
+			}
+			err = g.Neighbors(u, func(v int) error {
+				cv, err := comp.Get(v)
+				if err != nil {
+					return err
+				}
+				if cv < cu {
+					cu = cv
+					changed = true
+					return comp.Set(u, cu)
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+		// Pointer jumping.
+		for u := 0; u < g.N; u++ {
+			cu, _ := comp.Get(u)
+			ccu, _ := comp.Get(int(cu))
+			if ccu != cu {
+				comp.Set(u, ccu)
+			}
+		}
+	}
+	// Count distinct roots.
+	var roots uint64
+	for u := 0; u < g.N; u++ {
+		cu, _ := comp.Get(u)
+		if int(cu) == u {
+			roots++
+		}
+	}
+	return roots, nil
+}
+
+// pageRank runs iters power iterations with fixed-point ranks (Q32.32).
+func pageRank(e *kernel.Env, g *Graph, iters int) (uint64, error) {
+	const one = uint64(1) << 32
+	rank := NewU64Array(e, g.N)
+	next := NewU64Array(e, g.N)
+	init := one / uint64(g.N)
+	for i := 0; i < g.N; i++ {
+		rank.Set(i, init)
+	}
+	base := (one * 15 / 100) / uint64(g.N)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < g.N; i++ {
+			next.Set(i, base)
+		}
+		for u := 0; u < g.N; u++ {
+			ru, err := rank.Get(u)
+			if err != nil {
+				return 0, err
+			}
+			d, _ := g.Degree(u)
+			if d == 0 {
+				continue
+			}
+			share := (ru * 85 / 100) / uint64(d)
+			err = g.Neighbors(u, func(v int) error {
+				nv, err := next.Get(v)
+				if err != nil {
+					return err
+				}
+				return next.Set(v, nv+share)
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+		rank, next = next, rank
+	}
+	var sum uint64
+	for i := 0; i < g.N; i++ {
+		v, _ := rank.Get(i)
+		sum += v
+	}
+	return sum, nil
+}
+
+// sssp runs Bellman-Ford-flavoured single-source shortest paths with
+// deterministic per-edge weights derived from the endpoints.
+func sssp(e *kernel.Env, g *Graph, src int) (uint64, error) {
+	const inf = uint32(0x3fffffff)
+	dist := NewU32Array(e, g.N)
+	for i := 0; i < g.N; i++ {
+		dist.Set(i, inf)
+	}
+	dist.Set(src, 0)
+	weight := func(u, v int) uint32 { return uint32((u*31+v*17)%15) + 1 }
+	for round := 0; round < 16; round++ {
+		changed := false
+		for u := 0; u < g.N; u++ {
+			du, err := dist.Get(u)
+			if err != nil {
+				return 0, err
+			}
+			if du == inf {
+				continue
+			}
+			err = g.Neighbors(u, func(v int) error {
+				nd := du + weight(u, v)
+				dv, err := dist.Get(v)
+				if err != nil {
+					return err
+				}
+				if nd < dv {
+					changed = true
+					return dist.Set(v, nd)
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var sum uint64
+	for i := 0; i < g.N; i++ {
+		d, _ := dist.Get(i)
+		if d != inf {
+			sum += uint64(d)
+		}
+	}
+	return sum, nil
+}
+
+// triangleCount counts triangles with the ordered-intersection method on a
+// bounded per-vertex neighbour window (keeps simulation time sane on
+// high-degree Kron vertices).
+func triangleCount(e *kernel.Env, g *Graph) (uint64, error) {
+	const window = 32
+	var triangles uint64
+	for u := 0; u < g.N; u++ {
+		var nu []int
+		err := g.Neighbors(u, func(v int) error {
+			if v > u && len(nu) < window {
+				nu = append(nu, v)
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range nu {
+			// Intersect N(v) with nu (both > u ordering avoids recounts).
+			err := g.Neighbors(v, func(w int) error {
+				if w <= v {
+					return nil
+				}
+				for _, x := range nu {
+					if x == w {
+						triangles++
+						break
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	return triangles, nil
+}
+
+// betweenness runs Brandes' algorithm from nSources sampled sources
+// (GAP's bc also samples) with unit weights.
+func betweenness(e *kernel.Env, g *Graph, nSources int) (uint64, error) {
+	centrality := NewU64Array(e, g.N)
+	sigma := NewU64Array(e, g.N)
+	depth := NewU32Array(e, g.N)
+	order := NewU32Array(e, g.N)
+	delta := NewU64Array(e, g.N)
+	for s := 0; s < nSources; s++ {
+		src := (s*37 + 1) % g.N
+		for i := 0; i < g.N; i++ {
+			sigma.Set(i, 0)
+			depth.Set(i, 0xffffffff)
+			delta.Set(i, 0)
+		}
+		sigma.Set(src, 1)
+		depth.Set(src, 0)
+		head, tail := 0, 0
+		order.Set(tail, uint32(src))
+		tail++
+		for head < tail {
+			uv, _ := order.Get(head)
+			head++
+			u := int(uv)
+			du, _ := depth.Get(u)
+			su, _ := sigma.Get(u)
+			err := g.Neighbors(u, func(v int) error {
+				dv, err := depth.Get(v)
+				if err != nil {
+					return err
+				}
+				if dv == 0xffffffff {
+					depth.Set(v, du+1)
+					order.Set(tail, uint32(v))
+					tail++
+					dv = du + 1
+				}
+				if dv == du+1 {
+					sv, _ := sigma.Get(v)
+					return sigma.Set(v, sv+su)
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+		// Dependency accumulation in reverse BFS order (Q32.32 fixed
+		// point).
+		for i := tail - 1; i > 0; i-- {
+			wv, _ := order.Get(i)
+			w := int(wv)
+			dw, _ := depth.Get(w)
+			sw, _ := sigma.Get(w)
+			deltaW, _ := delta.Get(w)
+			if sw == 0 {
+				continue
+			}
+			err := g.Neighbors(w, func(v int) error {
+				dv, err := depth.Get(v)
+				if err != nil {
+					return err
+				}
+				if dv+1 != dw {
+					return nil
+				}
+				sv, _ := sigma.Get(v)
+				dl, _ := delta.Get(v)
+				contrib := (sv << 16) / sw * ((1 << 16) + (deltaW >> 16))
+				return delta.Set(v, dl+contrib>>16<<16)
+			})
+			if err != nil {
+				return 0, err
+			}
+			cw, _ := centrality.Get(w)
+			centrality.Set(w, cw+deltaW)
+		}
+	}
+	var sum uint64
+	for i := 0; i < g.N; i++ {
+		v, _ := centrality.Get(i)
+		sum += v >> 16
+	}
+	return sum, nil
+}

@@ -1,0 +1,211 @@
+package workloads
+
+import (
+	"fmt"
+
+	"hpmp/internal/kernel"
+)
+
+// ImageChain is the multi-function serverless application of §8.4 / Fig.
+// 12-c, ported from the AWS serverless repository style: four chained
+// functions — validate → resize → filter → encode — each running as its own
+// short-lived process with the intermediate image handed over between
+// stages. The harness (internal/bench) spawns one process per stage; this
+// type holds the per-stage logic.
+type ImageChain struct {
+	// Size is the square image edge in pixels (the paper sweeps 32..256).
+	Size int
+}
+
+// Name implements Workload (whole chain in a single process, used by unit
+// tests; the bench runs StageCount separate processes).
+func (c *ImageChain) Name() string { return fmt.Sprintf("image-chain-%d", c.Size) }
+
+// StageCount is the number of functions in the chain.
+const StageCount = 4
+
+// RunStage executes one stage in the environment. input is the serialized
+// image from the previous stage (nil for stage 0); it returns the stage's
+// output payload.
+//
+// Every stage first pays the serverless-framework cost: the function
+// runtime imports its handler, deserializes the event, and routes it —
+// interpreted work over a scattered heap, fixed per invocation. Small
+// images are dominated by it (where the permission table hurts most);
+// large images amortize it — the Fig. 12-c trend.
+func (c *ImageChain) RunStage(e *kernel.Env, stage int, input []byte) ([]byte, error) {
+	ip, err := newInterpSnapshot(e, 256)
+	if err != nil {
+		return nil, err
+	}
+	if err := ip.ops(250); err != nil { // handler import + event decode + routing
+		return nil, err
+	}
+	switch stage {
+	case 0:
+		return c.generateAndValidate(e)
+	case 1:
+		return c.resize(e, input)
+	case 2:
+		return c.filter(e, input)
+	case 3:
+		return c.encode(e, input)
+	default:
+		return nil, fmt.Errorf("imagechain: no stage %d", stage)
+	}
+}
+
+// Run implements Workload: all four stages in one process.
+func (c *ImageChain) Run(e *kernel.Env) (uint64, error) {
+	var payload []byte
+	var err error
+	for s := 0; s < StageCount; s++ {
+		payload, err = c.RunStage(e, s, payload)
+		if err != nil {
+			return 0, err
+		}
+	}
+	var sum uint64
+	for _, b := range payload {
+		sum = sum*31 + uint64(b)
+	}
+	return sum, nil
+}
+
+// generateAndValidate synthesizes the client upload in simulated memory
+// and checks its header.
+func (c *ImageChain) generateAndValidate(e *kernel.Env) ([]byte, error) {
+	n := c.Size * c.Size
+	img := NewByteArray(e, n+8)
+	hdr := []byte{'I', 'M', 'G', '1', byte(c.Size), byte(c.Size >> 8), 0, 0}
+	if err := img.Fill(0, hdr); err != nil {
+		return nil, err
+	}
+	r := newRNG(uint64(c.Size))
+	row := make([]byte, c.Size)
+	for y := 0; y < c.Size; y++ {
+		for x := range row {
+			row[x] = byte(x ^ y + r.intn(8))
+		}
+		if err := img.Fill(8+y*c.Size, row); err != nil {
+			return nil, err
+		}
+	}
+	// Validate: re-read the header and a sample of pixels.
+	h, err := img.Read(0, 8)
+	if err != nil {
+		return nil, err
+	}
+	if string(h[:4]) != "IMG1" {
+		return nil, fmt.Errorf("imagechain: bad header")
+	}
+	e.Compute(2000)
+	return img.Read(0, n+8)
+}
+
+// resize halves the image (bilinear), returning a new payload.
+func (c *ImageChain) resize(e *kernel.Env, input []byte) ([]byte, error) {
+	size := int(input[4]) | int(input[5])<<8
+	src := NewByteArray(e, len(input))
+	if err := src.Fill(0, input); err != nil {
+		return nil, err
+	}
+	out := size / 2
+	dst := NewByteArray(e, out*out+8)
+	hdr := []byte{'I', 'M', 'G', '1', byte(out), byte(out >> 8), 0, 0}
+	if err := dst.Fill(0, hdr); err != nil {
+		return nil, err
+	}
+	for y := 0; y < out; y++ {
+		for x := 0; x < out; x++ {
+			p00, err := src.Get(8 + (2*y)*size + 2*x)
+			if err != nil {
+				return nil, err
+			}
+			p01, _ := src.Get(8 + (2*y)*size + 2*x + 1)
+			p10, _ := src.Get(8 + (2*y+1)*size + 2*x)
+			p11, _ := src.Get(8 + (2*y+1)*size + 2*x + 1)
+			if err := dst.Set(8+y*out+x, byte((int(p00)+int(p01)+int(p10)+int(p11))/4)); err != nil {
+				return nil, err
+			}
+			e.Compute(10)
+		}
+	}
+	return dst.Read(0, out*out+8)
+}
+
+// filter sharpens with a 3×3 kernel.
+func (c *ImageChain) filter(e *kernel.Env, input []byte) ([]byte, error) {
+	size := int(input[4]) | int(input[5])<<8
+	src := NewByteArray(e, len(input))
+	if err := src.Fill(0, input); err != nil {
+		return nil, err
+	}
+	dst := NewByteArray(e, len(input))
+	if err := dst.Fill(0, input[:8]); err != nil {
+		return nil, err
+	}
+	for y := 1; y < size-1; y++ {
+		for x := 1; x < size-1; x++ {
+			center, err := src.Get(8 + y*size + x)
+			if err != nil {
+				return nil, err
+			}
+			up, _ := src.Get(8 + (y-1)*size + x)
+			down, _ := src.Get(8 + (y+1)*size + x)
+			left, _ := src.Get(8 + y*size + x - 1)
+			right, _ := src.Get(8 + y*size + x + 1)
+			v := 5*int(center) - int(up) - int(down) - int(left) - int(right)
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			if err := dst.Set(8+y*size+x, byte(v)); err != nil {
+				return nil, err
+			}
+			e.Compute(10)
+		}
+	}
+	return dst.Read(0, len(input))
+}
+
+// encode run-length encodes the final image (the "return a new image"
+// step).
+func (c *ImageChain) encode(e *kernel.Env, input []byte) ([]byte, error) {
+	src := NewByteArray(e, len(input))
+	if err := src.Fill(0, input); err != nil {
+		return nil, err
+	}
+	dst := NewByteArray(e, 2*len(input)+16)
+	out := 0
+	i := 8
+	for i < len(input) {
+		b, err := src.Get(i)
+		if err != nil {
+			return nil, err
+		}
+		run := 1
+		for i+run < len(input) && run < 255 {
+			nb, err := src.Get(i + run)
+			if err != nil {
+				return nil, err
+			}
+			if nb != b {
+				break
+			}
+			run++
+		}
+		if err := dst.Set(out, byte(run)); err != nil {
+			return nil, err
+		}
+		if err := dst.Set(out+1, b); err != nil {
+			return nil, err
+		}
+		out += 2
+		i += run
+		e.Compute(6)
+	}
+	return dst.Read(0, out)
+}
