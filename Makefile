@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench eval eval-quick examples clean
+.PHONY: all build vet test test-short race smoke bench eval eval-quick examples clean
 
-all: build vet test
+all: build vet test race smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,15 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the whole module (the experiment runner is
+# concurrent; this keeps it honest).
+race:
+	$(GO) test -race ./...
+
+# End-to-end smoke: the full quick evaluation through the CLI.
+smoke:
+	$(GO) run ./cmd/hpmpsim -quick run all > /dev/null
 
 # One testing.B target per paper table/figure (quick sizes).
 bench:

@@ -7,77 +7,144 @@
 //	hpmpsim run all              # run everything (the full evaluation)
 //	hpmpsim -quick run all       # scaled-down sizes (CI)
 //	hpmpsim -csv run fig10       # emit CSV instead of aligned tables
+//	hpmpsim -parallel 8 run all  # 8 concurrent experiments, same output
+//	hpmpsim -timeout 5m run all  # bound each experiment's wall time
+//
+// Experiments run on a worker pool (`-parallel`, default NumCPU; 1 is
+// strictly sequential). Failures are isolated: a failing, panicking, or
+// timed-out experiment never aborts the rest — every experiment is
+// attempted, an end-of-run summary on stderr names anything that failed,
+// and only then does the process exit nonzero. Experiment tables go to
+// stdout in natural ID order regardless of completion order, so output is
+// byte-identical at any parallelism.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
 	"hpmp/internal/addr"
 	"hpmp/internal/bench"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "run scaled-down experiment sizes")
-	csv := flag.Bool("csv", false, "emit CSV tables")
-	memMiB := flag.Uint64("mem", 512, "simulated DRAM size in MiB")
-	flag.Usage = usage
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	args := flag.Args()
+// run is the testable CLI entry point: it parses argv, executes the
+// command, and returns the process exit code (0 ok, 1 experiment failure,
+// 2 usage error).
+func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hpmpsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run scaled-down experiment sizes")
+	csv := fs.Bool("csv", false, "emit CSV tables (plus per-experiment counter snapshots)")
+	memMiB := fs.Uint64("mem", 512, "simulated DRAM size in MiB")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "concurrent experiments for 'run' (1 = sequential)")
+	timeout := fs.Duration("timeout", 0, "per-experiment wall-time limit (0 = none)")
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	args := fs.Args()
 	if len(args) == 0 {
-		usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	cfg := bench.DefaultConfig()
 	cfg.Quick = *quick
 	cfg.MemSize = *memMiB * addr.MiB
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(stderr, "hpmpsim: %v\n", err)
+		return 2
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(stderr, "hpmpsim: -parallel must be at least 1 (got %d)\n", *parallel)
+		return 2
+	}
 
 	switch args[0] {
 	case "list":
 		for _, e := range bench.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Title)
 		}
+		return 0
 	case "run":
 		ids := args[1:]
 		if len(ids) == 0 {
-			fmt.Fprintln(os.Stderr, "hpmpsim: run requires experiment ids (or 'all')")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "hpmpsim: run requires experiment ids (or 'all')")
+			return 2
 		}
+		var exps []bench.Experiment
 		if len(ids) == 1 && ids[0] == "all" {
-			ids = nil
-			for _, e := range bench.All() {
-				ids = append(ids, e.ID)
-			}
-		}
-		for _, id := range ids {
-			exp, ok := bench.ByID(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "hpmpsim: unknown experiment %q (try 'hpmpsim list')\n", id)
-				os.Exit(2)
-			}
-			res, err := exp.Run(cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "hpmpsim: %s: %v\n", id, err)
-				os.Exit(1)
-			}
-			if *csv {
-				for _, t := range res.Tables {
-					fmt.Printf("# %s — %s\n%s\n", res.ID, t.Title, t.CSV())
+			exps = bench.All()
+		} else {
+			for _, id := range ids {
+				exp, ok := bench.ByID(id)
+				if !ok {
+					fmt.Fprintf(stderr, "hpmpsim: unknown experiment %q (try 'hpmpsim list')\n", id)
+					return 2
 				}
-			} else {
-				fmt.Println(res.Render())
+				exps = append(exps, exp)
 			}
 		}
+		return runExperiments(ctx, cfg, exps, bench.RunOptions{Parallel: *parallel, Timeout: *timeout}, *csv, stdout, stderr)
 	default:
-		usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `hpmpsim — HPMP (MICRO'23) experiment harness
+// runExperiments drives the worker pool, streaming each result to stdout
+// in input order, then prints the summary to stderr. Returns 1 if any
+// experiment did not complete successfully.
+func runExperiments(ctx context.Context, cfg bench.Config, exps []bench.Experiment, opts bench.RunOptions, csv bool, stdout, stderr io.Writer) int {
+	emit := func(o bench.Outcome) {
+		if !o.OK() {
+			fmt.Fprintf(stderr, "hpmpsim: %s: %s: %v\n", o.Experiment.ID, o.Status, o.Err)
+			return
+		}
+		if csv {
+			for _, t := range o.Result.Tables {
+				fmt.Fprintf(stdout, "# %s — %s\n%s\n", o.Result.ID, t.Title, t.CSV())
+			}
+			fmt.Fprintf(stdout, "# %s — counters\n%s\n", o.Result.ID, bench.CountersCSV(o.Result))
+		} else {
+			fmt.Fprintln(stdout, o.Result.Render())
+		}
+	}
+	outcomes := bench.RunAll(ctx, cfg, exps, opts, emit)
+
+	failed := 0
+	for _, o := range outcomes {
+		if !o.OK() {
+			failed++
+		}
+	}
+	// The summary carries wall times, which vary run to run — it stays on
+	// stderr so stdout remains byte-identical across runs and parallelism
+	// levels.
+	if len(outcomes) > 1 || failed > 0 {
+		fmt.Fprint(stderr, bench.Summary(outcomes).Render())
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "hpmpsim: %d of %d experiments failed\n", failed, len(outcomes))
+		return 1
+	}
+	return 0
+}
+
+func usage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintf(w, `hpmpsim — HPMP (MICRO'23) experiment harness
 
 Usage:
   hpmpsim [flags] list
@@ -85,5 +152,5 @@ Usage:
 
 Flags:
 `)
-	flag.PrintDefaults()
+	fs.PrintDefaults()
 }

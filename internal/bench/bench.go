@@ -7,7 +7,10 @@ package bench
 
 import (
 	"fmt"
+	"regexp"
 	"sort"
+	"sync"
+	"time"
 
 	"hpmp/internal/addr"
 	"hpmp/internal/cpu"
@@ -23,11 +26,60 @@ type Config struct {
 	Quick bool
 	// MemSize is the simulated DRAM size.
 	MemSize uint64
+
+	// obs, when set by the runner, collects counters from every System and
+	// machine the experiment boots. Config is passed by value, so the
+	// pointer is shared across the copies one experiment makes.
+	obs *observer
 }
+
+// MinMemSize is the smallest simulated DRAM size the harness accepts. The
+// monitor's table pool, the kernel's page-table pool, and the workload
+// heaps all carve fixed regions out of DRAM; below this floor experiments
+// fail deep inside the allocators instead of at the flag.
+const MinMemSize = 64 * addr.MiB
 
 // DefaultConfig returns the full-size configuration.
 func DefaultConfig() Config {
 	return Config{MemSize: 512 * addr.MiB}
+}
+
+// Validate rejects configurations that would only fail later, deep inside
+// an experiment.
+func (c Config) Validate() error {
+	if c.MemSize < MinMemSize {
+		return fmt.Errorf("bench: -mem %d MiB is below the %d MiB minimum the experiments need",
+			c.MemSize/addr.MiB, MinMemSize/addr.MiB)
+	}
+	return nil
+}
+
+// observe registers a machine's cpu and mmu counters with the run's
+// observer; a no-op outside the runner.
+func (c Config) observe(m *cpu.Machine) {
+	if c.obs == nil || m == nil {
+		return
+	}
+	c.obs.add(func(into *stats.Counters) {
+		into.Merge(&m.Core.Counters)
+		into.Merge(&m.MMU.Counters)
+	})
+}
+
+// observeKernel registers a kernel's counters with the run's observer.
+func (c Config) observeKernel(k *kernel.Kernel) {
+	if c.obs == nil || k == nil {
+		return
+	}
+	c.obs.add(func(into *stats.Counters) { into.Merge(&k.Counters) })
+}
+
+// observeMonitor registers a monitor's counters with the run's observer.
+func (c Config) observeMonitor(m *monitor.Monitor) {
+	if c.obs == nil || m == nil {
+		return
+	}
+	c.obs.add(func(into *stats.Counters) { into.Merge(&m.Counters) })
 }
 
 // Result is one experiment's output.
@@ -37,6 +89,17 @@ type Result struct {
 	Tables []*stats.Table
 	// Notes records methodology details worth printing with the tables.
 	Notes []string
+
+	// Wall is the experiment's wall-clock duration, filled in by the
+	// runner. It is intentionally not part of Render(): wall times vary
+	// run to run, while the tables are deterministic.
+	Wall time.Duration
+	// Counters aggregates the cpu/mmu/kernel/monitor counters of every
+	// System the experiment booted under the runner — a per-experiment
+	// observability snapshot (see CountersCSV). Also excluded from
+	// Render(); counter *values* are deterministic but their first-use
+	// order is not.
+	Counters stats.Counters
 }
 
 // Render formats the whole result as text.
@@ -58,22 +121,55 @@ type Experiment struct {
 	Run   func(cfg Config) (*Result, error)
 }
 
-var registry []Experiment
+var (
+	regMu    sync.Mutex
+	registry []Experiment
+)
 
-func register(id, title string, run func(cfg Config) (*Result, error)) {
-	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+// idPattern constrains experiment IDs to lowercase alphanumerics with
+// single interior dashes — the shape every figure/table id has.
+var idPattern = regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*$`)
+
+// Register adds an experiment to the registry. It panics on a duplicate or
+// malformed ID: both are programming errors that would otherwise surface
+// as an ambiguous ByID much later.
+func Register(e Experiment) {
+	if !idPattern.MatchString(e.ID) {
+		panic(fmt.Sprintf("bench: malformed experiment id %q", e.ID))
+	}
+	if e.Run == nil {
+		panic(fmt.Sprintf("bench: experiment %q has no Run function", e.ID))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, prev := range registry {
+		if prev.ID == e.ID {
+			panic(fmt.Sprintf("bench: duplicate experiment id %q", e.ID))
+		}
+	}
+	registry = append(registry, e)
 }
 
-// All returns every experiment in registration order.
+func register(id, title string, run func(cfg Config) (*Result, error)) {
+	Register(Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment in natural ID order: digit runs compare
+// numerically, so fig3a–fig3d precede fig10 and table3 precedes table4.
+// This is the order `list`, `run all`, and result emission share.
 func All() []Experiment {
+	regMu.Lock()
+	defer regMu.Unlock()
 	out := make([]Experiment, len(registry))
 	copy(out, registry)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.SliceStable(out, func(i, j int) bool { return naturalLess(out[i].ID, out[j].ID) })
 	return out
 }
 
 // ByID finds an experiment.
 func ByID(id string) (Experiment, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
 	for _, e := range registry {
 		if e.ID == id {
 			return e, true
@@ -91,31 +187,38 @@ type System struct {
 }
 
 // NewSystem boots a machine of the given platform under the given
-// isolation mode and starts the kernel.
-func NewSystem(plat cpu.Platform, mode monitor.Mode, memSize uint64) (*System, error) {
-	mach := cpu.NewMachine(plat, memSize)
+// isolation mode and starts the kernel. The machine's DRAM size comes from
+// cfg.MemSize; under the runner the system's counters are observed for the
+// experiment's Result snapshot.
+func NewSystem(plat cpu.Platform, mode monitor.Mode, cfg Config) (*System, error) {
+	mach := cpu.NewMachine(plat, cfg.MemSize)
 	mon, err := monitor.Boot(mach, monitor.DefaultConfig(mode))
 	if err != nil {
 		return nil, fmt.Errorf("bench: booting monitor: %w", err)
 	}
-	k, err := kernel.New(mach, mon, kernel.DefaultConfig(memSize))
+	k, err := kernel.New(mach, mon, kernel.DefaultConfig(cfg.MemSize))
 	if err != nil {
 		return nil, fmt.Errorf("bench: booting kernel: %w", err)
 	}
+	cfg.observe(mach)
+	cfg.observeKernel(k)
+	cfg.observeMonitor(mon)
 	return &System{Mach: mach, Mon: mon, Kern: k, Mode: mode}, nil
 }
 
 // NewHostSystem boots the non-secure baseline ("Host-PMP" in Fig. 12): no
 // TEE deployed, but PMP is implemented — one RWX segment covers DRAM.
-func NewHostSystem(plat cpu.Platform, memSize uint64) (*System, error) {
-	mach := cpu.NewMachine(plat, memSize)
-	if err := mach.Checker.SetSegment(0, addr.Range{Base: 0, Size: napotCeil(memSize)}, perm.RWX, false); err != nil {
+func NewHostSystem(plat cpu.Platform, cfg Config) (*System, error) {
+	mach := cpu.NewMachine(plat, cfg.MemSize)
+	if err := mach.Checker.SetSegment(0, addr.Range{Base: 0, Size: napotCeil(cfg.MemSize)}, perm.RWX, false); err != nil {
 		return nil, err
 	}
-	k, err := kernel.New(mach, nil, kernel.DefaultConfig(memSize))
+	k, err := kernel.New(mach, nil, kernel.DefaultConfig(cfg.MemSize))
 	if err != nil {
 		return nil, err
 	}
+	cfg.observe(mach)
+	cfg.observeKernel(k)
 	return &System{Mach: mach, Mon: nil, Kern: k, Mode: monitor.ModePMP}, nil
 }
 

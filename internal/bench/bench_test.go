@@ -55,4 +55,22 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Error("unknown id must not resolve")
 	}
+	// Every registered ID must be unique and well-formed (Register enforces
+	// this at init time; assert it held).
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if !idPattern.MatchString(e.ID) {
+			t.Errorf("malformed experiment id %q", e.ID)
+		}
+		if e.Run == nil {
+			t.Errorf("experiment %q has no Run function", e.ID)
+		}
+		if e.Title == "" {
+			t.Errorf("experiment %q has no title", e.ID)
+		}
+	}
 }

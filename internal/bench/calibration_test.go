@@ -20,7 +20,7 @@ func TestLatencyProbeOrderings(t *testing.T) {
 		for _, tc := range []TestCase{TC1, TC2, TC3} {
 			lat := map[monitor.Mode]uint64{}
 			for _, mode := range AllModes {
-				v, err := latencyProbe(plat.p, mode, tc, false, cfg.MemSize)
+				v, err := latencyProbe(plat.p, mode, tc, false, cfg)
 				if err != nil {
 					t.Fatalf("%s/%v/%v: %v", plat.name, mode, tc, err)
 				}
@@ -41,7 +41,7 @@ func TestLatencyProbeOrderings(t *testing.T) {
 		// TC4 (TLB hit): all modes identical (permission inlining).
 		var tc4 []uint64
 		for _, mode := range AllModes {
-			v, err := latencyProbe(plat.p, mode, TC4, false, cfg.MemSize)
+			v, err := latencyProbe(plat.p, mode, TC4, false, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -58,7 +58,7 @@ func TestVirtProbeOrderings(t *testing.T) {
 	for _, vcase := range []string{"TC1", "After hfence.g"} {
 		lat := map[virtMethod]uint64{}
 		for _, m := range []virtMethod{vmPMP, vmPMPT, vmHPMP, vmHPMPGPT} {
-			v, err := virtProbe(m, vcase, cfg.MemSize)
+			v, err := virtProbe(m, vcase, cfg)
 			if err != nil {
 				t.Fatalf("%v/%s: %v", m, vcase, err)
 			}
@@ -82,7 +82,7 @@ func TestFragProbeQuadrants(t *testing.T) {
 			k := key{va, pa}
 			lat[k] = map[monitor.Mode]uint64{}
 			for _, mode := range AllModes {
-				v, err := fragProbe(mode, va, pa, false, 16, cfg.MemSize)
+				v, err := fragProbe(mode, va, pa, false, 16, cfg)
 				if err != nil {
 					t.Fatalf("%v %v %v: %v", va, pa, mode, err)
 				}
@@ -106,7 +106,7 @@ func TestHostSystemMatchesPMPBaseline(t *testing.T) {
 	// they both utilize PMP" — a cold probe on the Host system must cost
 	// the same reference count as Penglai-PMP.
 	cfg := DefaultConfig()
-	sys, err := NewHostSystem(cpu.RocketPlatform(), cfg.MemSize)
+	sys, err := NewHostSystem(cpu.RocketPlatform(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

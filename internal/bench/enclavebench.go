@@ -31,7 +31,7 @@ func runExtEnclave(cfg Config) (*Result, error) {
 	for _, mode := range AllModes {
 		var lat [2]uint64
 		for variant := 0; variant < 2; variant++ {
-			sys, err := NewSystem(cpu.RocketPlatform(), mode, cfg.MemSize)
+			sys, err := NewSystem(cpu.RocketPlatform(), mode, cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -43,6 +43,8 @@ func runExtEPMP(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		cfg.observe(machA)
+		cfg.observeMonitor(monA)
 		capacity := 0
 		for i := 0; ; i++ {
 			region := addr.Range{Base: addr.PA(0x1000_0000 + i*addr.MiB), Size: 64 * addr.KiB}
@@ -62,6 +64,8 @@ func runExtEPMP(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		cfg.observe(machB)
+		cfg.observeMonitor(monB)
 		fast := 0
 		for i := 0; i < 128; i++ {
 			region := addr.Range{Base: addr.PA(0x1000_0000 + i*256*addr.KiB), Size: 256 * addr.KiB}
@@ -101,6 +105,7 @@ func runExtDeep(cfg Config) (*Result, error) {
 	// (a) Two 2-level tables, 16 GiB each.
 	{
 		mach := cpu.NewMachine(cpu.RocketPlatform(), memSize)
+		cfg.observe(mach)
 		alloc := phys.NewFrameAllocator(addr.Range{Base: 0x10_0000, Size: 128 * addr.MiB}, false)
 		entries := 0
 		for i := 0; i < 2; i++ {
@@ -128,6 +133,7 @@ func runExtDeep(cfg Config) (*Result, error) {
 	// (b) One 3-level table.
 	{
 		mach := cpu.NewMachine(cpu.RocketPlatform(), memSize)
+		cfg.observe(mach)
 		alloc := phys.NewFrameAllocator(addr.Range{Base: 0x10_0000, Size: 128 * addr.MiB}, false)
 		region := addr.Range{Base: 0, Size: 32 * addr.GiB}
 		tbl, err := pmpt.NewDeepTable(mach.Mem, alloc, region, pmpt.Mode3Level)
@@ -166,7 +172,7 @@ func runExtSvx(cfg Config) (*Result, error) {
 	for _, mode := range []addr.Mode{addr.Sv39, addr.Sv48, addr.Sv57} {
 		counts := map[string]int{}
 		for _, iso := range []string{"PMP", "PMPT", "HPMP"} {
-			n, err := countRefs(mode, iso, cfg.MemSize)
+			n, err := countRefs(mode, iso, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%v/%s: %w", mode, iso, err)
 			}
@@ -188,13 +194,15 @@ func runExtSvx(cfg Config) (*Result, error) {
 
 // countRefs builds a minimal machine with the given translation depth and
 // isolation mode and counts one cold access's references.
-func countRefs(mode addr.Mode, iso string, memSize uint64) (int, error) {
+func countRefs(mode addr.Mode, iso string, cfg Config) (int, error) {
+	memSize := cfg.MemSize
 	plat := cpu.RocketPlatform()
 	mcfg := plat.MMU
 	mcfg.Mode = mode
 	mcfg.PWCEntries = 0
 	plat.MMU = mcfg
 	mach := cpu.NewMachine(plat, memSize)
+	cfg.observe(mach)
 
 	ptRegion := addr.Range{Base: 0x40_0000, Size: 4 * addr.MiB}
 	ptAlloc := phys.NewFrameAllocator(ptRegion, false)
@@ -266,7 +274,7 @@ func runExtHints(cfg Config) (*Result, error) {
 	}
 	var base uint64
 	for _, c := range configs {
-		cycles, err := hintChase(c.mode, c.hint, iters, cfg.MemSize)
+		cycles, err := hintChase(c.mode, c.hint, iters, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
@@ -283,8 +291,8 @@ func runExtHints(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-func hintChase(mode monitor.Mode, hint bool, iters int, memSize uint64) (uint64, error) {
-	sys, err := NewSystem(cpu.RocketPlatform(), mode, memSize)
+func hintChase(mode monitor.Mode, hint bool, iters int, cfg Config) (uint64, error) {
+	sys, err := NewSystem(cpu.RocketPlatform(), mode, cfg)
 	if err != nil {
 		return 0, err
 	}

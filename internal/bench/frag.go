@@ -24,18 +24,21 @@ func init() {
 //     Fragmented-VA recipe) instead of walking adjacent pages.
 //   - fragPA: the kernel's frame allocator hands out scattered frames.
 //   - pmptwCache: enables the PMPTW-Cache (Fig. 16).
-func fragProbe(mode monitor.Mode, fragVA, fragPA, pmptwCache bool, nPages int, memSize uint64) (uint64, error) {
-	mach := cpu.NewMachine(cpu.RocketPlatform(), memSize)
+func fragProbe(mode monitor.Mode, fragVA, fragPA, pmptwCache bool, nPages int, cfg Config) (uint64, error) {
+	mach := cpu.NewMachine(cpu.RocketPlatform(), cfg.MemSize)
 	mon, err := monitor.Boot(mach, monitor.DefaultConfig(mode))
 	if err != nil {
 		return 0, err
 	}
-	kcfg := kernel.DefaultConfig(memSize)
+	kcfg := kernel.DefaultConfig(cfg.MemSize)
 	kcfg.ScatterFrames = fragPA
 	k, err := kernel.New(mach, mon, kcfg)
 	if err != nil {
 		return 0, err
 	}
+	cfg.observe(mach)
+	cfg.observeKernel(k)
+	cfg.observeMonitor(mon)
 	p, err := k.Spawn(kernel.Image{Name: "frag", TextPages: 8, DataPages: 8})
 	if err != nil {
 		return 0, err
@@ -124,7 +127,7 @@ func runFig15(cfg Config) (*Result, error) {
 		}{{false, "Contiguous-VA"}, {true, "Fragmented-VA"}} {
 			row := []string{va.name}
 			for _, mode := range AllModes {
-				lat, err := fragProbe(mode, va.frag, pa.frag, false, n, cfg.MemSize)
+				lat, err := fragProbe(mode, va.frag, pa.frag, false, n, cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -162,7 +165,7 @@ func runFig16(cfg Config) (*Result, error) {
 		}
 		row := []string{va.name}
 		for _, c := range cells {
-			lat, err := fragProbe(c.mode, va.frag, true, c.cache, n, cfg.MemSize)
+			lat, err := fragProbe(c.mode, va.frag, true, c.cache, n, cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -30,8 +30,8 @@ func (tc TestCase) String() string { return fmt.Sprintf("TC%d", int(tc)) }
 // latencyProbe measures one ld or sd under a given state recipe. It builds
 // a fresh system, maps a victim page plus an adjacent one, primes the
 // state per Table 2, and returns the measured access latency in cycles.
-func latencyProbe(plat cpu.Platform, mode monitor.Mode, tc TestCase, write bool, memSize uint64) (uint64, error) {
-	sys, err := NewSystem(plat, mode, memSize)
+func latencyProbe(plat cpu.Platform, mode monitor.Mode, tc TestCase, write bool, cfg Config) (uint64, error) {
+	sys, err := NewSystem(plat, mode, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -124,7 +124,7 @@ func CollectFig10(cfg Config) (*Fig10Data, error) {
 			for _, mode := range AllModes {
 				d.Lat[pname][op][mode] = map[TestCase]uint64{}
 				for _, tc := range []TestCase{TC1, TC2, TC3, TC4} {
-					lat, err := latencyProbe(plat, mode, tc, op == "sd", cfg.MemSize)
+					lat, err := latencyProbe(plat, mode, tc, op == "sd", cfg)
 					if err != nil {
 						return nil, err
 					}

@@ -76,6 +76,9 @@ func measureLMBench(mode monitor.Mode, cfg Config) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.observe(mach)
+	cfg.observeKernel(kern)
+	cfg.observeMonitor(mon)
 	sys := &System{Mach: mach, Mon: mon, Kern: kern, Mode: mode}
 	e, err := sys.NewEnv("lmbench", 8192)
 	if err != nil {

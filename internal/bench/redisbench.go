@@ -57,13 +57,13 @@ func collectRedis(plat cpu.Platform, cfg Config, withHost bool) (map[string]map[
 		return nil
 	}
 	if withHost {
-		if err := run("Host-PMP", func() (*System, error) { return NewHostSystem(plat, cfg.MemSize) }); err != nil {
+		if err := run("Host-PMP", func() (*System, error) { return NewHostSystem(plat, cfg) }); err != nil {
 			return nil, err
 		}
 	}
 	for _, mode := range AllModes {
 		mode := mode
-		if err := run("PL-"+ModeNames[mode], func() (*System, error) { return NewSystem(plat, mode, cfg.MemSize) }); err != nil {
+		if err := run("PL-"+ModeNames[mode], func() (*System, error) { return NewSystem(plat, mode, cfg) }); err != nil {
 			return nil, err
 		}
 	}

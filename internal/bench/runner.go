@@ -1,0 +1,323 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hpmp/internal/stats"
+)
+
+// This file is the experiment runner: a worker-pool scheduler that executes
+// registered experiments concurrently while keeping the output stream
+// deterministic. Each experiment builds its own simulated machine, so runs
+// are independent; the runner adds fault isolation (a panicking or failing
+// experiment never aborts the others), per-experiment timeouts, context
+// cancellation, and a per-experiment observability snapshot (wall time plus
+// the cpu/mmu/kernel/monitor counters of every System the experiment
+// booted).
+
+// Status classifies one experiment attempt.
+type Status string
+
+const (
+	// StatusOK: the experiment completed and produced a result.
+	StatusOK Status = "ok"
+	// StatusError: Run returned an error (or a nil result).
+	StatusError Status = "error"
+	// StatusPanic: Run panicked; the panic was recovered into Err.
+	StatusPanic Status = "panic"
+	// StatusTimeout: Run exceeded the per-experiment timeout.
+	StatusTimeout Status = "timeout"
+	// StatusCanceled: the run context was canceled before completion.
+	StatusCanceled Status = "canceled"
+)
+
+// Outcome is the runner's record of one experiment attempt.
+type Outcome struct {
+	Experiment Experiment
+	// Result is non-nil only when Status is StatusOK.
+	Result *Result
+	Err    error
+	Status Status
+	// Wall is the attempt's wall-clock duration (also copied into
+	// Result.Wall on success).
+	Wall time.Duration
+}
+
+// OK reports whether the attempt succeeded.
+func (o Outcome) OK() bool { return o.Status == StatusOK }
+
+// RunOptions tunes the runner.
+type RunOptions struct {
+	// Parallel is the worker count; <= 0 means runtime.NumCPU().
+	// Parallel == 1 runs experiments strictly sequentially in input order,
+	// matching the historical CLI behaviour.
+	Parallel int
+	// Timeout bounds each experiment's wall time; 0 means no limit. The
+	// simulator is not preemptible, so a timed-out experiment's goroutine
+	// is abandoned, not interrupted.
+	Timeout time.Duration
+}
+
+// RunAll executes the experiments on a worker pool and returns one Outcome
+// per experiment, in input order. Failures are isolated: every experiment
+// is attempted regardless of how many before it failed, panicked, or timed
+// out. If emit is non-nil it is called exactly once per experiment, in
+// input order, as soon as that experiment and all its predecessors have
+// finished — so output streams deterministically no matter which worker
+// finishes first. Canceling ctx marks not-yet-finished experiments
+// StatusCanceled (in-flight simulations are abandoned, not interrupted).
+func RunAll(ctx context.Context, cfg Config, exps []Experiment, opts RunOptions, emit func(Outcome)) []Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(exps)
+	if n == 0 {
+		return nil
+	}
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Every index gets exactly one outcome; per-index channels let the
+	// emitter drain results in input order while workers complete in any
+	// order.
+	outs := make([]chan Outcome, n)
+	for i := range outs {
+		outs[i] = make(chan Outcome, 1)
+	}
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				outs[i] <- runOne(ctx, cfg, exps[i], opts.Timeout)
+			}
+		}()
+	}
+
+	outcomes := make([]Outcome, 0, n)
+	for i := 0; i < n; i++ {
+		o := <-outs[i]
+		outcomes = append(outcomes, o)
+		if emit != nil {
+			emit(o)
+		}
+	}
+	return outcomes
+}
+
+// panicError marks an error recovered from an experiment panic.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.val, e.stack)
+}
+
+// runOne attempts a single experiment with panic recovery, an optional
+// timeout, and counter observation.
+func runOne(ctx context.Context, cfg Config, exp Experiment, timeout time.Duration) Outcome {
+	out := Outcome{Experiment: exp}
+	if err := ctx.Err(); err != nil {
+		out.Status = StatusCanceled
+		out.Err = err
+		return out
+	}
+
+	obs := &observer{}
+	cfg.obs = obs
+
+	type reply struct {
+		res *Result
+		err error
+	}
+	done := make(chan reply, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- reply{nil, &panicError{val: p, stack: debug.Stack()}}
+			}
+		}()
+		res, err := exp.Run(cfg)
+		done <- reply{res, err}
+	}()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+
+	select {
+	case r := <-done:
+		out.Wall = time.Since(start)
+		switch {
+		case r.err != nil:
+			if _, ok := r.err.(*panicError); ok {
+				out.Status = StatusPanic
+			} else {
+				out.Status = StatusError
+			}
+			out.Err = fmt.Errorf("%s: %w", exp.ID, r.err)
+		case r.res == nil:
+			out.Status = StatusError
+			out.Err = fmt.Errorf("%s: experiment returned no result", exp.ID)
+		default:
+			out.Status = StatusOK
+			out.Result = r.res
+			r.res.Wall = out.Wall
+			obs.snapshot(&r.res.Counters)
+		}
+	case <-timer:
+		out.Wall = time.Since(start)
+		out.Status = StatusTimeout
+		out.Err = fmt.Errorf("%s: timed out after %v", exp.ID, timeout)
+	case <-ctx.Done():
+		out.Wall = time.Since(start)
+		out.Status = StatusCanceled
+		out.Err = ctx.Err()
+	}
+	return out
+}
+
+// observer collects counter sources from every System/machine an experiment
+// boots, so the runner can snapshot them into Result.Counters when the
+// experiment finishes. Safe for concurrent use; a nil observer is a no-op
+// (experiments run outside the runner skip observation entirely).
+type observer struct {
+	mu    sync.Mutex
+	snaps []func(into *stats.Counters)
+}
+
+func (o *observer) add(f func(into *stats.Counters)) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.snaps = append(o.snaps, f)
+	o.mu.Unlock()
+}
+
+// snapshot merges every observed counter set into one aggregate. Called
+// only after the experiment's goroutine has finished, so the counters are
+// quiescent.
+func (o *observer) snapshot(into *stats.Counters) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, f := range o.snaps {
+		f(into)
+	}
+}
+
+// Summary renders the end-of-run report: one row per experiment in input
+// order — id, status, wall time, result size, and the error for anything
+// that failed. Wall times vary run to run, so callers should keep the
+// summary out of byte-compared output streams (the CLI prints it to
+// stderr).
+func Summary(outcomes []Outcome) *stats.Table {
+	t := stats.NewTable("run summary", "Experiment", "Status", "Wall", "Tables", "Rows", "Error")
+	for _, o := range outcomes {
+		tables, rows := 0, 0
+		if o.Result != nil {
+			tables = len(o.Result.Tables)
+			for _, tb := range o.Result.Tables {
+				rows += tb.NumRows()
+			}
+		}
+		errText := ""
+		if o.Err != nil {
+			errText = firstLine(o.Err.Error())
+		}
+		t.AddRow(o.Experiment.ID, string(o.Status),
+			o.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", tables), fmt.Sprintf("%d", rows), errText)
+	}
+	return t
+}
+
+// CountersCSV renders one experiment's counter snapshot as CSV with the
+// names sorted, so the emission is deterministic even though experiments
+// boot systems in nondeterministic (map-ordered) sequences.
+func CountersCSV(res *Result) string {
+	t := stats.NewTable("", "counter", "value")
+	names := res.Counters.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		t.AddRow(n, fmt.Sprintf("%d", res.Counters.Get(n)))
+	}
+	return t.CSV()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// naturalLess orders experiment IDs with numeric awareness: runs of digits
+// compare as numbers, everything else byte-wise. So fig3a < fig10 (3 < 10)
+// and table3 < table4, where plain lexicographic order would put fig10
+// first.
+func naturalLess(a, b string) bool {
+	for a != "" && b != "" {
+		ac, an := chunk(a)
+		bc, bn := chunk(b)
+		if ac != bc {
+			if isDigit(ac[0]) && isDigit(bc[0]) {
+				at, bt := trimZeros(ac), trimZeros(bc)
+				if len(at) != len(bt) {
+					return len(at) < len(bt)
+				}
+				if at != bt {
+					return at < bt
+				}
+				// Same numeric value, different zero-padding: fewer
+				// leading zeros first, deterministically.
+				return len(ac) < len(bc)
+			}
+			return ac < bc
+		}
+		a, b = an, bn
+	}
+	return len(a) < len(b)
+}
+
+// chunk splits s into its leading run of digits or non-digits plus the
+// rest.
+func chunk(s string) (head, tail string) {
+	i := 1
+	for i < len(s) && isDigit(s[i]) == isDigit(s[0]) {
+		i++
+	}
+	return s[:i], s[i:]
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func trimZeros(s string) string {
+	i := 0
+	for i < len(s)-1 && s[i] == '0' {
+		i++
+	}
+	return s[i:]
+}

@@ -98,12 +98,12 @@ func collectServerless(plat cpu.Platform, cfg Config, pwcEntries int) (map[strin
 		return nil
 	}
 
-	if err := run("Host-PMP", func() (*System, error) { return NewHostSystem(plat, cfg.MemSize) }); err != nil {
+	if err := run("Host-PMP", func() (*System, error) { return NewHostSystem(plat, cfg) }); err != nil {
 		return nil, nil, err
 	}
 	for _, mode := range AllModes {
 		mode := mode
-		if err := run("PL-"+ModeNames[mode], func() (*System, error) { return NewSystem(plat, mode, cfg.MemSize) }); err != nil {
+		if err := run("PL-"+ModeNames[mode], func() (*System, error) { return NewSystem(plat, mode, cfg) }); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -197,7 +197,7 @@ func runFig12c(cfg Config) (*Result, error) {
 	for _, size := range sizes {
 		lat := map[monitor.Mode]uint64{}
 		for _, mode := range AllModes {
-			sys, err := NewSystem(cpu.RocketPlatform(), mode, cfg.MemSize)
+			sys, err := NewSystem(cpu.RocketPlatform(), mode, cfg)
 			if err != nil {
 				return nil, err
 			}

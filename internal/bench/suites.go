@@ -18,12 +18,12 @@ func init() {
 // runSuite executes each workload in a fresh long-lived process on each
 // mode and returns cycles[mode][workload]. Long-lived means one process
 // per (mode, workload): the suite benchmarks run warm, unlike serverless.
-func runSuite(plat cpu.Platform, suite []workloads.Workload, memSize uint64) (map[monitor.Mode]map[string]uint64, error) {
+func runSuite(plat cpu.Platform, suite []workloads.Workload, cfg Config) (map[monitor.Mode]map[string]uint64, error) {
 	out := map[monitor.Mode]map[string]uint64{}
 	for _, mode := range AllModes {
 		out[mode] = map[string]uint64{}
 		for _, w := range suite {
-			sys, err := NewSystem(plat, mode, memSize)
+			sys, err := NewSystem(plat, mode, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -68,7 +68,7 @@ func gapScale(cfg Config) int {
 }
 
 func runFig11a(cfg Config) (*Result, error) {
-	data, err := runSuite(cpu.RocketPlatform(), rv8ForConfig(cfg), cfg.MemSize)
+	data, err := runSuite(cpu.RocketPlatform(), rv8ForConfig(cfg), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +97,7 @@ func runFig11a(cfg Config) (*Result, error) {
 // latencies (% of PMP).
 func CollectGAP(plat cpu.Platform, cfg Config) (map[string]map[monitor.Mode]float64, []string, error) {
 	suite := workloads.GAPSuite(gapScale(cfg))
-	data, err := runSuite(plat, suite, cfg.MemSize)
+	data, err := runSuite(plat, suite, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -17,9 +17,15 @@ func init() {
 }
 
 // bootMon boots a bare monitor (no kernel) for TEE-operation timing.
-func bootMon(mode monitor.Mode, memSize uint64) (*monitor.Monitor, error) {
-	mach := cpu.NewMachine(cpu.RocketPlatform(), memSize)
-	return monitor.Boot(mach, monitor.DefaultConfig(mode))
+func bootMon(mode monitor.Mode, cfg Config) (*monitor.Monitor, error) {
+	mach := cpu.NewMachine(cpu.RocketPlatform(), cfg.MemSize)
+	mon, err := monitor.Boot(mach, monitor.DefaultConfig(mode))
+	if err != nil {
+		return nil, err
+	}
+	cfg.observe(mach)
+	cfg.observeMonitor(mon)
+	return mon, nil
 }
 
 // buildDomains creates n-1 enclaves (the host is domain 0), each with one
@@ -46,7 +52,7 @@ func runFig14a(cfg Config) (*Result, error) {
 	for _, n := range []int{2, 12, 101} {
 		row := []string{fmt.Sprintf("%d-domains", n)}
 		for _, mode := range []monitor.Mode{monitor.ModePMP, monitor.ModeHPMP} {
-			mon, err := bootMon(mode, cfg.MemSize)
+			mon, err := bootMon(mode, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -98,7 +104,7 @@ func runFig14bc(cfg Config) (*Result, error) {
 	alloc := map[monitor.Mode][]sample{}
 	rel := map[monitor.Mode][]sample{}
 	for _, mode := range []monitor.Mode{monitor.ModePMP, monitor.ModeHPMP} {
-		mon, err := bootMon(mode, cfg.MemSize)
+		mon, err := bootMon(mode, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -168,6 +174,8 @@ func runFig14d(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			cfg.observe(mach)
+			cfg.observeMonitor(mon)
 			enc, _, err := mon.CreateEnclave("sized")
 			if err != nil {
 				return nil, err

@@ -35,8 +35,10 @@ var virtCases = []string{"TC1", "After hfence.v", "After hfence.g", "TC3", "TC4"
 
 // buildVirtRig assembles a guest under the given method and maps two
 // adjacent guest data pages.
-func buildVirtRig(method virtMethod, memSize uint64) (*virt.Hypervisor, addr.VA, error) {
+func buildVirtRig(method virtMethod, cfg Config) (*virt.Hypervisor, addr.VA, error) {
+	memSize := cfg.MemSize
 	mach := cpu.NewMachine(cpu.RocketPlatform(), memSize)
+	cfg.observe(mach)
 	nptRegion := addr.Range{Base: 0x0100_0000, Size: 4 * addr.MiB}
 	gptRegion := addr.Range{Base: 0x0180_0000, Size: 4 * addr.MiB}
 	tblRegion := addr.Range{Base: 0x0400_0000, Size: 16 * addr.MiB}
@@ -114,8 +116,8 @@ func buildVirtRig(method virtMethod, memSize uint64) (*virt.Hypervisor, addr.VA,
 }
 
 // virtProbe measures the hlv.d latency under one state recipe.
-func virtProbe(method virtMethod, vcase string, memSize uint64) (uint64, error) {
-	hyp, gva, err := buildVirtRig(method, memSize)
+func virtProbe(method virtMethod, vcase string, cfg Config) (uint64, error) {
+	hyp, gva, err := buildVirtRig(method, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -171,7 +173,7 @@ func CollectFig13(cfg Config) (map[string]map[virtMethod]uint64, error) {
 	for _, vcase := range virtCases {
 		out[vcase] = map[virtMethod]uint64{}
 		for _, m := range []virtMethod{vmPMP, vmPMPT, vmHPMP, vmHPMPGPT} {
-			lat, err := virtProbe(m, vcase, cfg.MemSize)
+			lat, err := virtProbe(m, vcase, cfg)
 			if err != nil {
 				return nil, err
 			}

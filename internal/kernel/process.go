@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"hpmp/internal/addr"
 	"hpmp/internal/perm"
@@ -25,6 +26,27 @@ func (v VMA) Contains(va addr.VA) bool { return va >= v.Base && va < v.End() }
 type mapping struct {
 	pa  addr.PA
 	cow bool
+}
+
+// pageEntry pairs a VA with its mapping for ordered traversal.
+type pageEntry struct {
+	va addr.VA
+	mp *mapping
+}
+
+// sortedPages returns the process's materialized pages in ascending VA
+// order. Teardown and fork paths must use this instead of ranging over the
+// pages map directly: map iteration order is random, and these paths free
+// frames (changing the allocator's free-list order) and perform timed PT
+// accesses, so a random order makes whole-simulation timing nondeterministic
+// run to run.
+func (p *Process) sortedPages() []pageEntry {
+	entries := make([]pageEntry, 0, len(p.pages))
+	for va, mp := range p.pages {
+		entries = append(entries, pageEntry{va, mp})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].va < entries[j].va })
+	return entries
 }
 
 // Process is one user process (or serverless function instance).
@@ -331,7 +353,8 @@ func (k *Kernel) Fork(parent *Process) (*Process, error) {
 	}
 	k.Mach.Core.Priv = perm.S
 	k.Mach.Core.Compute(4000) // task_struct, mm_struct, fd table, ...
-	for va, mp := range parent.pages {
+	for _, pe := range parent.sortedPages() {
+		va, mp := pe.va, pe.mp
 		vma, ok := parent.vmaFor(va)
 		if !ok {
 			continue
@@ -391,7 +414,8 @@ func (k *Kernel) Exit(pid PID) error {
 	k.Mach.Core.Priv = perm.S
 	k.Mach.Core.Compute(2500)
 	k.Mach.Core.Priv = perm.U
-	for _, mp := range p.pages {
+	for _, pe := range p.sortedPages() {
+		mp := pe.mp
 		if ref := k.frameRefs[mp.pa]; ref != nil {
 			ref.n--
 			if ref.n > 0 {
@@ -418,7 +442,8 @@ func (k *Kernel) Exec(p *Process, img Image) error {
 	k.Mach.Core.Priv = perm.S
 	k.Mach.Core.Compute(6000) // ELF load path
 	k.Mach.Core.Priv = perm.U
-	for va, mp := range p.pages {
+	for _, pe := range p.sortedPages() {
+		va, mp := pe.va, pe.mp
 		if ref := k.frameRefs[mp.pa]; ref != nil {
 			ref.n--
 			if ref.n == 0 {

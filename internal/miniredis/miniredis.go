@@ -11,6 +11,7 @@ package miniredis
 
 import (
 	"fmt"
+	"sort"
 
 	"hpmp/internal/addr"
 	"hpmp/internal/kernel"
@@ -329,10 +330,17 @@ func (s *Server) Incr(key string) (int64, error) {
 	return cur, s.setWord(eva, entVal, uint64(blob))
 }
 
-// MSet stores several key/value pairs.
+// MSet stores several key/value pairs. Keys are applied in sorted order so
+// the simulated store's layout (and hence timing) does not depend on Go's
+// random map iteration order.
 func (s *Server) MSet(pairs map[string][]byte) error {
-	for k, v := range pairs {
-		if err := s.Set(k, v); err != nil {
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := s.Set(k, pairs[k]); err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,14 @@
 // helpers that every experiment in the benchmark harness shares. All state is
 // deterministic — no wall-clock time is consulted — so experiment output is
 // reproducible run to run.
+//
+// Concurrency: the package keeps no package-level mutable state, and the
+// individual types (Counters, Histogram, Table) are not internally
+// synchronized. The harness's concurrency model is ownership-based: each
+// experiment goroutine builds and mutates its own instances, and
+// cross-goroutine aggregation (Merge) happens only after the owning
+// goroutine has finished — the pattern the parallel runner in
+// internal/bench follows and `go test -race` verifies.
 package stats
 
 import (

@@ -25,9 +25,8 @@ func NewTable(title string, header ...string) *Table {
 // AddRow appends a row; cells beyond the header width are kept as-is.
 func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
 
-// AddRowf appends a row whose cells are built with fmt.Sprintf from
-// alternating format/value pairs is overkill; callers format cells
-// themselves. This helper formats every value with %v.
+// AddRowf appends a row, formatting each value for the caller: float64
+// cells go through FormatFloat, everything else through fmt.Sprintf("%v").
 func (t *Table) AddRowf(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
