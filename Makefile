@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race smoke bench eval eval-quick examples clean
+.PHONY: all build vet test test-short race smoke fuzz bench eval eval-quick examples clean
 
-all: build vet test race smoke
+all: build vet test race smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ race:
 # End-to-end smoke: the full quick evaluation through the CLI.
 smoke:
 	$(GO) run ./cmd/hpmpsim -quick run all > /dev/null
+
+# Short fuzz pass over the register-format round trips and the PMPTW
+# walker-vs-oracle cross-check (go test -fuzz takes one target at a time).
+fuzz:
+	$(GO) test ./internal/pmp -run '^$$' -fuzz FuzzPMPEncodeDecode -fuzztime 30s
+	$(GO) test ./internal/pmpt -run '^$$' -fuzz FuzzPMPTWalk -fuzztime 30s
 
 # One testing.B target per paper table/figure (quick sizes).
 bench:

@@ -10,6 +10,15 @@ import (
 
 	"hpmp/internal/addr"
 	"hpmp/internal/bench"
+	"hpmp/internal/cache"
+	"hpmp/internal/dram"
+	"hpmp/internal/hpmp"
+	"hpmp/internal/memport"
+	"hpmp/internal/mmu"
+	"hpmp/internal/perm"
+	"hpmp/internal/phys"
+	"hpmp/internal/pmpt"
+	"hpmp/internal/pt"
 )
 
 // runExperiment drives one experiment b.N times and reports rows/op so the
@@ -104,3 +113,81 @@ func BenchmarkFig17(b *testing.B) { runExperiment(b, "fig17") }
 
 // BenchmarkTable4 regenerates Table 4: the hardware resource cost model.
 func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// benchRig builds a minimal one-hart stack (cache hierarchy + HPMP checker
+// + MMU) and returns an MMU with one user page mapped, so a benchmark can
+// drive the steady-state TLB-hit path directly.
+func benchRig(b testing.TB) (*mmu.MMU, addr.VA) {
+	const memSize = 256 * addr.MiB
+	mem := phys.New(memSize)
+	hier := &cache.Hierarchy{
+		L1:         cache.New(cache.Config{Name: "l1d", Size: 32 * addr.KiB, Ways: 8, LineSize: 64, Latency: 2}),
+		L2:         cache.New(cache.Config{Name: "l2", Size: 512 * addr.KiB, Ways: 8, LineSize: 64, Latency: 12}),
+		LLC:        cache.New(cache.Config{Name: "llc", Size: 4 * addr.MiB, Ways: 8, LineSize: 64, Latency: 26}),
+		Mem:        dram.New(dram.Default()),
+		ClockRatio: 1.0,
+	}
+	ptRegion := addr.Range{Base: 0x40_0000, Size: 4 * addr.MiB}
+	ptAlloc := phys.NewFrameAllocator(ptRegion, false)
+	tbl, err := pt.New(mem, ptAlloc, addr.Sv39)
+	if err != nil {
+		b.Fatal(err)
+	}
+	port := &memport.Timed{Hier: hier, Mem: mem}
+	checker := hpmp.New(&pmpt.Walker{Port: port})
+	if err := checker.SetSegment(0, addr.Range{Base: 0, Size: memSize}, perm.RWX, false); err != nil {
+		b.Fatal(err)
+	}
+	m := mmu.New(mmu.DefaultConfig(addr.Sv39), hier, mem, checker)
+	m.SetRoot(tbl.Root())
+	va := addr.VA(0x1000_0000)
+	if err := tbl.Map(va, 0x800_0000, perm.RW, true); err != nil {
+		b.Fatal(err)
+	}
+	return m, va
+}
+
+// BenchmarkTLBHitAccess measures the simulator's own cost of one steady-state
+// data access that hits the L1 TLB — the hot path every simulated memory
+// reference pays. The PR-2 invariant is 0 allocs/op; BENCH_pr2.json records
+// the pre/post numbers.
+func BenchmarkTLBHitAccess(b *testing.B) {
+	m, va := benchRig(b)
+	// Warm the TLB and caches.
+	if _, err := m.Access(va, perm.Read, perm.U, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := uint64(1000)
+	for i := 0; i < b.N; i++ {
+		res, err := m.Access(va, perm.Read, perm.U, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now += res.Latency
+	}
+}
+
+// TestTLBHitAccessZeroAllocs pins the tentpole invariant outside the
+// benchmark: a steady-state TLB-hit access must not allocate. If a future
+// change reintroduces a per-access allocation (a string key, an interface
+// box, a map lookup), this fails immediately instead of showing up as a
+// slow drift in benchmark numbers.
+func TestTLBHitAccessZeroAllocs(t *testing.T) {
+	m, va := benchRig(t)
+	if _, err := m.Access(va, perm.Read, perm.U, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(1000)
+	allocs := testing.AllocsPerRun(1000, func() {
+		res, err := m.Access(va, perm.Read, perm.U, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now += res.Latency
+	})
+	if allocs != 0 {
+		t.Errorf("TLB-hit access allocates %.1f times per op, want 0", allocs)
+	}
+}

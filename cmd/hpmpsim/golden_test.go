@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./cmd/hpmpsim -run TestQuickRunAllGolden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestQuickRunAllGolden pins the complete `hpmpsim -quick run all` stdout
+// — every table of every registered experiment — against a committed
+// golden file. Any change to simulated behaviour, table formatting, or
+// experiment registration shows up as a readable line diff here; the
+// golden is the cross-PR regression baseline the fast-path work is gated
+// on (stdout must be byte-identical before and after).
+func TestQuickRunAllGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick evaluation")
+	}
+	code, stdout, stderr := runCLI(t, "-quick", "run", "all")
+	// Another test in this binary may have injected the zz-fail experiment
+	// into the process-wide registry; it writes no stdout and sorts last,
+	// so the stream is unaffected — only the exit code flips.
+	if code != 0 && !strings.Contains(stderr, "zz-fail") {
+		t.Fatalf("run all exited %d:\n%s", code, stderr)
+	}
+
+	golden := filepath.Join("testdata", "quick_all.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(stdout))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if stdout == string(want) {
+		return
+	}
+	t.Errorf("stdout differs from %s (re-run with -update if the change is intended):\n%s",
+		golden, lineDiff(string(want), stdout))
+}
+
+// lineDiff renders the first run of differing lines with context, in a
+// "want/got" form readable straight off a CI log.
+func lineDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	var b strings.Builder
+	shown := 0
+	for i := 0; i < n && shown < 8; i++ {
+		if wl[i] == gl[i] {
+			continue
+		}
+		fmt.Fprintf(&b, "line %d:\n  want: %s\n  got:  %s\n", i+1, wl[i], gl[i])
+		shown++
+	}
+	if len(wl) != len(gl) {
+		fmt.Fprintf(&b, "line count: want %d, got %d\n", len(wl), len(gl))
+	}
+	if b.Len() == 0 {
+		b.WriteString("(outputs differ only in trailing bytes)\n")
+	}
+	return b.String()
+}

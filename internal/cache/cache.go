@@ -11,6 +11,7 @@ import (
 
 	"hpmp/internal/addr"
 	"hpmp/internal/dram"
+	"hpmp/internal/fastpath"
 	"hpmp/internal/stats"
 )
 
@@ -62,6 +63,10 @@ type Cache struct {
 	data     [][]line // [set][way]
 	tick     uint64   // LRU clock
 
+	// Hot-path counter handles, resolved once in New so per-access bumps
+	// pay neither a map lookup nor the cfg.Name+suffix concatenation.
+	hHit, hMiss, hFill, hEvict, hWriteback, hFillBypass, hLockReject *uint64
+
 	Counters stats.Counters
 }
 
@@ -80,7 +85,24 @@ func New(cfg Config) *Cache {
 	for i := range c.data {
 		c.data[i] = make([]line, cfg.Ways)
 	}
+	c.hHit = c.Counters.Handle(cfg.Name + ".hit")
+	c.hMiss = c.Counters.Handle(cfg.Name + ".miss")
+	c.hFill = c.Counters.Handle(cfg.Name + ".fill")
+	c.hEvict = c.Counters.Handle(cfg.Name + ".evict")
+	c.hWriteback = c.Counters.Handle(cfg.Name + ".writeback")
+	c.hFillBypass = c.Counters.Handle(cfg.Name + ".fill_bypass")
+	c.hLockReject = c.Counters.Handle(cfg.Name + ".lock_reject")
 	return c
+}
+
+// bump increments a pre-resolved handle on the fast path, or performs the
+// original map-keyed, name-concatenating increment on the reference path.
+func (c *Cache) bump(h *uint64, suffix string) {
+	if fastpath.Enabled {
+		*h++
+	} else {
+		c.Counters.Inc(c.cfg.Name + suffix)
+	}
 }
 
 // Config returns the level's configuration.
@@ -103,11 +125,11 @@ func (c *Cache) Lookup(pa addr.PA, write bool) bool {
 			if write {
 				l.dirty = true
 			}
-			c.Counters.Inc(c.cfg.Name + ".hit")
+			c.bump(c.hHit, ".hit")
 			return true
 		}
 	}
-	c.Counters.Inc(c.cfg.Name + ".miss")
+	c.bump(c.hMiss, ".miss")
 	return false
 }
 
@@ -147,7 +169,7 @@ func (c *Cache) Fill(pa addr.PA, write bool) (victim addr.PA, dirty, ok bool) {
 	}
 	if vi < 0 {
 		// Fully locked set: bypass.
-		c.Counters.Inc(c.cfg.Name + ".fill_bypass")
+		c.bump(c.hFillBypass, ".fill_bypass")
 		return 0, false, false
 	}
 	{
@@ -155,14 +177,14 @@ func (c *Cache) Fill(pa addr.PA, write bool) (victim addr.PA, dirty, ok bool) {
 		victimLineAddr := (v.tag*c.sets + set) << c.lineBits
 		victim, dirty, ok = addr.PA(victimLineAddr), v.dirty, true
 		if dirty {
-			c.Counters.Inc(c.cfg.Name + ".writeback")
+			c.bump(c.hWriteback, ".writeback")
 		}
-		c.Counters.Inc(c.cfg.Name + ".evict")
+		c.bump(c.hEvict, ".evict")
 	}
 place:
 	c.tick++
 	ways[vi] = line{valid: true, dirty: write, tag: tag, lru: c.tick}
-	c.Counters.Inc(c.cfg.Name + ".fill")
+	c.bump(c.hFill, ".fill")
 	return victim, dirty, ok
 }
 
@@ -185,7 +207,7 @@ func (c *Cache) Lock(pa addr.PA) bool {
 		}
 	}
 	if lockedWays >= len(ways)-1 {
-		c.Counters.Inc(c.cfg.Name + ".lock_reject")
+		c.bump(c.hLockReject, ".lock_reject")
 		return false
 	}
 	c.Fill(pa, false)
@@ -283,13 +305,69 @@ type Hierarchy struct {
 	// BOOM at 3.2 GHz with a 1 GHz controller; 1.0 for Rocket).
 	ClockRatio float64
 
+	// hh holds the hierarchy's pre-resolved counter handles. Hierarchies
+	// are built with struct literals all over the tree, so the handles are
+	// resolved lazily on the first access instead of in a constructor.
+	hh hierHandles
+
 	Counters stats.Counters
+}
+
+type hierHandles struct {
+	l1Hit, l2Hit, llcHit, dram *uint64
+}
+
+// handles resolves the hierarchy's counter handles on first use. Resolution
+// is identical on both the fast and reference paths so the registered
+// counter names (and thus snapshots) never differ between them.
+func (h *Hierarchy) handles() *hierHandles {
+	if h.hh.l1Hit == nil {
+		h.hh = hierHandles{
+			l1Hit:  h.Counters.Handle("mem.l1_hit"),
+			l2Hit:  h.Counters.Handle("mem.l2_hit"),
+			llcHit: h.Counters.Handle("mem.llc_hit"),
+			dram:   h.Counters.Handle("mem.dram_access"),
+		}
+	}
+	return &h.hh
+}
+
+// Level identifies the hierarchy level that satisfied a request. The values
+// index the MMU's per-level counter handles.
+type Level uint8
+
+const (
+	LvlL1 Level = iota
+	LvlL2
+	LvlLLC
+	LvlDRAM
+	// NumLevels sizes per-level lookup arrays.
+	NumLevels
+)
+
+// String returns the paper's label for the level ("L1", "L2", "LLC",
+// "DRAM").
+func (l Level) String() string {
+	switch l {
+	case LvlL1:
+		return "L1"
+	case LvlL2:
+		return "L2"
+	case LvlLLC:
+		return "LLC"
+	case LvlDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
 }
 
 // AccessResult describes where a request was satisfied.
 type AccessResult struct {
 	Latency  uint64 // total core cycles
 	HitLevel string // "L1", "L2", "LLC", or "DRAM"
+	// Level is HitLevel as an index, for allocation-free counter selection.
+	Level Level
 }
 
 // Access runs one line-sized memory reference at core-cycle `now` through
@@ -308,12 +386,13 @@ func (h *Hierarchy) AccessNoL1(pa addr.PA, now uint64, write bool) AccessResult 
 }
 
 func (h *Hierarchy) access(pa addr.PA, now uint64, write bool, skipL1 bool) AccessResult {
+	hh := h.handles()
 	var lat uint64
 	if !skipL1 {
 		lat = h.L1.Config().Latency
 		if h.L1.Lookup(pa, write) {
-			h.Counters.Inc("mem.l1_hit")
-			return AccessResult{Latency: lat, HitLevel: "L1"}
+			h.bump(hh.l1Hit, "mem.l1_hit")
+			return AccessResult{Latency: lat, HitLevel: "L1", Level: LvlL1}
 		}
 	}
 	lat += h.L2.Config().Latency
@@ -321,8 +400,8 @@ func (h *Hierarchy) access(pa addr.PA, now uint64, write bool, skipL1 bool) Acce
 		if !skipL1 {
 			h.L1.Fill(pa, write)
 		}
-		h.Counters.Inc("mem.l2_hit")
-		return AccessResult{Latency: lat, HitLevel: "L2"}
+		h.bump(hh.l2Hit, "mem.l2_hit")
+		return AccessResult{Latency: lat, HitLevel: "L2", Level: LvlL2}
 	}
 	lat += h.LLC.Config().Latency
 	if h.LLC.Lookup(pa, write) {
@@ -330,8 +409,8 @@ func (h *Hierarchy) access(pa addr.PA, now uint64, write bool, skipL1 bool) Acce
 		if !skipL1 {
 			h.L1.Fill(pa, write)
 		}
-		h.Counters.Inc("mem.llc_hit")
-		return AccessResult{Latency: lat, HitLevel: "LLC"}
+		h.bump(hh.llcHit, "mem.llc_hit")
+		return AccessResult{Latency: lat, HitLevel: "LLC", Level: LvlLLC}
 	}
 	// DRAM: convert the core-cycle issue time into controller cycles, run
 	// the access, convert back. A write miss pays an extra
@@ -348,8 +427,18 @@ func (h *Hierarchy) access(pa addr.PA, now uint64, write bool, skipL1 bool) Acce
 	if !skipL1 {
 		h.L1.Fill(pa, write)
 	}
-	h.Counters.Inc("mem.dram_access")
-	return AccessResult{Latency: lat, HitLevel: "DRAM"}
+	h.bump(hh.dram, "mem.dram_access")
+	return AccessResult{Latency: lat, HitLevel: "DRAM", Level: LvlDRAM}
+}
+
+// bump increments a pre-resolved handle on the fast path, or performs the
+// original map-keyed increment on the reference path.
+func (h *Hierarchy) bump(hc *uint64, name string) {
+	if fastpath.Enabled {
+		*hc++
+	} else {
+		h.Counters.Inc(name)
+	}
 }
 
 // Warm inserts the line containing pa into every level without recording

@@ -12,6 +12,7 @@
 package cpu
 
 import (
+	"hpmp/internal/fastpath"
 	"hpmp/internal/mmu"
 	"hpmp/internal/perm"
 	"hpmp/internal/stats"
@@ -69,12 +70,19 @@ type Core struct {
 	// small Compute calls do not round away time.
 	instrCarry float64
 
+	// Hot-path counter handles, resolved once in NewCore.
+	hInstructions, hMemOps, hMemStall *uint64
+
 	Counters stats.Counters
 }
 
 // NewCore builds a core over an MMU, starting in U-mode at cycle 0.
 func NewCore(cfg Config, m *mmu.MMU) *Core {
-	return &Core{Cfg: cfg, MMU: m, Priv: perm.U}
+	c := &Core{Cfg: cfg, MMU: m, Priv: perm.U}
+	c.hInstructions = c.Counters.Handle("cpu.instructions")
+	c.hMemOps = c.Counters.Handle("cpu.mem_ops")
+	c.hMemStall = c.Counters.Handle("cpu.mem_stall")
+	return c
 }
 
 // Compute retires n ALU/branch instructions: time advances by n / BaseIPC.
@@ -83,7 +91,11 @@ func (c *Core) Compute(n uint64) {
 	whole := uint64(c.instrCarry)
 	c.instrCarry -= float64(whole)
 	c.Now += whole
-	c.Counters.Add("cpu.instructions", n)
+	if fastpath.Enabled {
+		*c.hInstructions += n
+	} else {
+		c.Counters.Add("cpu.instructions", n)
+	}
 }
 
 // Stall advances time by exactly n cycles (fences, fixed hardware
@@ -100,8 +112,13 @@ func (c *Core) Access(va addr.VA, k perm.Access, size uint64) (mmu.Result, error
 	}
 	stall := c.exposedLatency(res)
 	c.Now += stall
-	c.Counters.Inc("cpu.mem_ops")
-	c.Counters.Add("cpu.mem_stall", stall)
+	if fastpath.Enabled {
+		*c.hMemOps++
+		*c.hMemStall += stall
+	} else {
+		c.Counters.Inc("cpu.mem_ops")
+		c.Counters.Add("cpu.mem_stall", stall)
+	}
 	_ = size
 	return res, nil
 }

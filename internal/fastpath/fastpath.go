@@ -1,0 +1,29 @@
+// Package fastpath selects between the simulator's allocation-free hot path
+// and the reference (pre-optimization) path.
+//
+// The hot path of every simulated memory reference — TLB probe, cache
+// lookup, walker bookkeeping — bumps counters through pre-resolved handles
+// (stats.Counters.Handle) and consults a one-entry last-translation memo in
+// the L1 TLBs. The reference path keeps the original per-access behaviour:
+// map-keyed counter increments with their string-concatenated names, and a
+// full associative TLB search on every lookup.
+//
+// Both paths are observably identical by construction: they update the same
+// counter storage under the same names, and the memo only short-circuits a
+// search whose result it already knows. The differential tests in
+// internal/integration and the golden test in cmd/hpmpsim run workloads
+// through both and assert byte-identical results, counters, and cycle
+// totals. DESIGN.md ("The simulator's own hot path") documents the
+// invariants.
+package fastpath
+
+// Enabled selects the allocation-free hot path. It defaults to true; the
+// reference path is compiled in permanently and selected either by flipping
+// this variable (the differential tests do) or by building with the
+// `refpath` tag, which flips it at init time for whole-binary comparisons:
+//
+//	go run -tags refpath ./cmd/hpmpsim -quick run all
+//
+// The variable is read on every simulated access, so it must only be
+// written while no simulation is running (test setup, init).
+var Enabled = true

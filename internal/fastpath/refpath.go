@@ -1,0 +1,8 @@
+//go:build refpath
+
+package fastpath
+
+// Building with -tags refpath selects the reference path for the whole
+// binary, so `hpmpsim -quick run all` output can be byte-compared between
+// an optimized and a reference build.
+func init() { Enabled = false }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"hpmp/internal/addr"
+	"hpmp/internal/fastpath"
 	"hpmp/internal/perm"
 	"hpmp/internal/pmp"
 	"hpmp/internal/pmpt"
@@ -32,18 +33,36 @@ type Checker struct {
 	PMP    *pmp.Unit
 	Walker *pmpt.Walker
 
+	// Hot-path counter handles, resolved once at construction.
+	hDenyNoMatch, hDenyStraddle, hSegmentCheck, hTableCheck *uint64
+
 	Counters stats.Counters
 }
 
 // New builds a checker around an empty 16-entry PMP bank and the given
 // table walker.
 func New(w *pmpt.Walker) *Checker {
-	return &Checker{PMP: pmp.New(), Walker: w}
+	return NewSized(w, pmp.NumEntries)
 }
 
 // NewSized builds a checker with n entries (64 for the ePMP variant).
 func NewSized(w *pmpt.Walker, n int) *Checker {
-	return &Checker{PMP: pmp.NewSized(n), Walker: w}
+	c := &Checker{PMP: pmp.NewSized(n), Walker: w}
+	c.hDenyNoMatch = c.Counters.Handle("hpmp.deny_nomatch")
+	c.hDenyStraddle = c.Counters.Handle("hpmp.deny_straddle")
+	c.hSegmentCheck = c.Counters.Handle("hpmp.segment_check")
+	c.hTableCheck = c.Counters.Handle("hpmp.table_check")
+	return c
+}
+
+// bump increments a pre-resolved handle on the fast path, or performs the
+// original map-keyed increment on the reference path.
+func (c *Checker) bump(h *uint64, name string) {
+	if fastpath.Enabled {
+		*h++
+	} else {
+		c.Counters.Inc(name)
+	}
 }
 
 // SetSegment programs entry i in segment mode (T=0) over region with
@@ -139,18 +158,18 @@ func (c *Checker) Check(pa addr.PA, size uint64, k perm.Access, priv perm.Priv, 
 		if priv == perm.M && c.PMP.MModeDefaultAllow {
 			return Result{Allowed: true, Entry: -1, PermFound: perm.RWX}, nil
 		}
-		c.Counters.Inc("hpmp.deny_nomatch")
+		c.bump(c.hDenyNoMatch, "hpmp.deny_nomatch")
 		return Result{Allowed: false, Entry: -1}, nil
 	}
 	e := c.PMP.Entries[i]
 	region, _ := c.PMP.EntryRegion(i)
 	if !region.ContainsRange(addr.Range{Base: pa, Size: size}) {
-		c.Counters.Inc("hpmp.deny_straddle")
+		c.bump(c.hDenyStraddle, "hpmp.deny_straddle")
 		return Result{Allowed: false, Entry: i}, nil
 	}
 	if !e.Table() {
 		// Segment mode: register check, zero memory references.
-		c.Counters.Inc("hpmp.segment_check")
+		c.bump(c.hSegmentCheck, "hpmp.segment_check")
 		if priv == perm.M && !e.Locked() {
 			return Result{Allowed: true, Entry: i, PermFound: perm.RWX}, nil
 		}
@@ -162,7 +181,7 @@ func (c *Checker) Check(pa addr.PA, size uint64, k perm.Access, priv perm.Priv, 
 	if priv == perm.M {
 		return Result{Allowed: true, Entry: i, TableMode: true, PermFound: perm.RWX}, nil
 	}
-	c.Counters.Inc("hpmp.table_check")
+	c.bump(c.hTableCheck, "hpmp.table_check")
 	_, rootBase, mode, ok := c.tableInfoMode(i)
 	if !ok {
 		return Result{}, fmt.Errorf("hpmp: entry %d in table mode but misconfigured", i)

@@ -1,0 +1,287 @@
+// Differential equivalence tests for the simulator's hot-path fast path
+// (internal/fastpath): the handle-based counters and the L1 TLB memo must
+// be pure speed devices. Running the same deterministic workload with
+// fastpath.Enabled and with the reference path (map-keyed counters, full
+// TLB searches) must produce identical per-access Results, identical
+// counters, and identical cycle totals — in every isolation mode.
+//
+// These tests flip fastpath.Enabled, a package-level variable, so they must
+// not run concurrently with other tests in this package that simulate
+// accesses. Go runs tests within a package sequentially unless t.Parallel
+// is called; nothing in this package calls it.
+package integration
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/bench"
+	"hpmp/internal/cpu"
+	"hpmp/internal/fastpath"
+	"hpmp/internal/kernel"
+	"hpmp/internal/mmu"
+	"hpmp/internal/monitor"
+	"hpmp/internal/perm"
+	"hpmp/internal/stats"
+)
+
+// diffRun captures everything observable about one workload run.
+type diffRun struct {
+	results  []mmu.Result
+	counters string
+	cycles   uint64
+}
+
+// allCounters merges every counter the stack keeps — core, MMU, TLBs, page
+// walker, caches, DRAM, checker, permission-table walker, monitor, kernel —
+// into one deterministic "name=value" string.
+func allCounters(mach *cpu.Machine, mon *monitor.Monitor, k *kernel.Kernel) string {
+	var all stats.Counters
+	for _, c := range []*stats.Counters{
+		&mach.Core.Counters,
+		&mach.MMU.Counters,
+		&mach.MMU.ITLB.Counters,
+		&mach.MMU.DTLB.Counters,
+		&mach.MMU.STLB.Counters,
+		&mach.MMU.Walker.Counters,
+		&mach.Hier.L1.Counters,
+		&mach.Hier.L2.Counters,
+		&mach.Hier.LLC.Counters,
+		&mach.Hier.Counters,
+		&mach.Hier.Mem.Counters,
+		&mach.Checker.Counters,
+		&mach.Checker.Walker.Counters,
+		&mon.Counters,
+		&k.Counters,
+	} {
+		all.Merge(c)
+	}
+	return all.String()
+}
+
+// runDifferentialWorkload boots a fresh stack and drives a fixed mixed
+// workload through it: demand-faulted heap traffic with same-page streaks
+// (memo hits) and strided page changes (associative hits and misses),
+// instruction fetches, TLB shootdowns, and the three fault flavours.
+// Everything is seeded deterministically, so two runs differ only in which
+// counter/TLB path the simulator took internally.
+func runDifferentialWorkload(t *testing.T, mode monitor.Mode) diffRun {
+	t.Helper()
+	mach, mon, k := bootStack(t, mode)
+	p, err := k.Spawn(kernel.Image{Name: "diff", TextPages: 8, DataPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := k.NewEnv(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const heapPages = 64
+	heap := env.Alloc(heapPages * addr.PageSize)
+
+	var results []mmu.Result
+	record := func(res mmu.Result, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+
+	// Deterministic LCG (Knuth MMIX constants); no package-level rand.
+	lcg := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return lcg >> 33
+	}
+
+	// A read-only alias of the first heap page: writes through it must
+	// prot-fault after a successful translation.
+	if err := env.Touch(heap, addr.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.MMU.Access(heap, perm.Read, perm.U, mach.Core.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roVA := addr.VA(0x7300_0000)
+	p.AddVMAAt(roVA, 1, perm.R)
+	if err := p.Table.Map(roVA, res.PA.PageBase(), perm.R, true); err != nil {
+		t.Fatal(err)
+	}
+	// A forged mapping at monitor-owned memory: translation succeeds, the
+	// physical-memory check must deny it (access fault).
+	evilVA := addr.VA(0x7400_0000)
+	p.AddVMAAt(evilVA, 1, perm.RW)
+	if err := p.Table.Map(evilVA, 0x10_0000, perm.RW, true); err != nil {
+		t.Fatal(err)
+	}
+	// An address in no VMA at all: page fault.
+	unmappedVA := addr.VA(0x7f00_0000)
+
+	for i := 0; i < 2500; i++ {
+		r := next() % 100
+		switch {
+		case r < 45:
+			// Same-page streak: the memo's bread and butter.
+			page := heap + addr.VA(next()%heapPages)*addr.PageSize
+			for j := uint64(0); j < 1+next()%6; j++ {
+				off := addr.VA((next() % 500) * 8)
+				if next()%3 == 0 {
+					if err := env.Store64(page+off, next()); err != nil {
+						t.Fatal(err)
+					}
+				} else if _, err := env.Load64(page + off); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case r < 70:
+			// Page-hopping stride: exercises the associative search and
+			// L2-TLB/walk refills behind a memo miss.
+			stride := addr.VA(1+next()%7) * addr.PageSize
+			va := heap + addr.VA(next()%heapPages)*addr.PageSize
+			for j := 0; j < 4; j++ {
+				record(mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now))
+				va = heap + (va-heap+stride)%(heapPages*addr.PageSize)
+			}
+		case r < 80:
+			// Instruction fetches through the ITLB.
+			if err := env.FetchAt(p.Code() + addr.VA(next()%8)*addr.PageSize); err != nil {
+				t.Fatal(err)
+			}
+		case r < 87:
+			// Faults: translation outcomes must match bit for bit.
+			switch next() % 3 {
+			case 0:
+				record(mach.MMU.Access(roVA, perm.Write, perm.U, mach.Core.Now))
+			case 1:
+				record(mach.MMU.Access(evilVA, perm.Read, perm.U, mach.Core.Now))
+			default:
+				record(mach.MMU.Access(unmappedVA, perm.Read, perm.U, mach.Core.Now))
+			}
+		case r < 94:
+			// TLB shootdowns reset the memo; a single-page flush then
+			// re-touch re-establishes it.
+			if next()%4 == 0 {
+				mach.MMU.FlushTLB()
+			} else {
+				va := heap + addr.VA(next()%heapPages)*addr.PageSize
+				mach.MMU.FlushVA(va)
+				record(mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now))
+			}
+		default:
+			env.Compute(1 + next()%40)
+		}
+	}
+
+	return diffRun{
+		results:  results,
+		counters: allCounters(mach, mon, k),
+		cycles:   mach.Core.Now,
+	}
+}
+
+// withFastpath runs f with fastpath.Enabled forced to v, restoring the
+// previous setting afterwards.
+func withFastpath(v bool, f func()) {
+	prev := fastpath.Enabled
+	fastpath.Enabled = v
+	defer func() { fastpath.Enabled = prev }()
+	f()
+}
+
+// TestDifferentialFastVsReference is the tentpole's gate: for each
+// isolation mode, the fast path and the reference path must be observably
+// identical — same per-access Results, same counters, same cycle total.
+func TestDifferentialFastVsReference(t *testing.T) {
+	for _, mode := range []monitor.Mode{monitor.ModePMP, monitor.ModePMPT, monitor.ModeHPMP} {
+		t.Run(mode.String(), func(t *testing.T) {
+			var fast, ref diffRun
+			withFastpath(true, func() { fast = runDifferentialWorkload(t, mode) })
+			withFastpath(false, func() { ref = runDifferentialWorkload(t, mode) })
+
+			if len(fast.results) != len(ref.results) {
+				t.Fatalf("recorded %d results fast vs %d reference", len(fast.results), len(ref.results))
+			}
+			for i := range fast.results {
+				if fast.results[i] != ref.results[i] {
+					t.Fatalf("result %d differs:\n  fast: %+v\n  ref:  %+v", i, fast.results[i], ref.results[i])
+				}
+			}
+			if fast.cycles != ref.cycles {
+				t.Errorf("cycle totals differ: fast %d, reference %d", fast.cycles, ref.cycles)
+			}
+			if fast.counters != ref.counters {
+				t.Errorf("counters differ:\nfast: %s\nref:  %s", fast.counters, ref.counters)
+			}
+			if fast.cycles == 0 || len(fast.results) == 0 {
+				t.Fatalf("workload did no work (cycles=%d, results=%d)", fast.cycles, len(fast.results))
+			}
+		})
+	}
+}
+
+// TestDifferentialExperimentOutput runs one real registered experiment
+// through the parallel runner under both paths and compares the rendered
+// tables and the counter CSV snapshot byte for byte — the same artifacts
+// `hpmpsim run` prints and `-csv` exports.
+func TestDifferentialExperimentOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run; skipped with -short")
+	}
+	exp, ok := bench.ByID("fig3a")
+	if !ok {
+		t.Fatal("experiment fig3a not registered")
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Quick = true
+
+	run := func() (render, csv string) {
+		outs := bench.RunAll(context.Background(), cfg, []bench.Experiment{exp}, bench.RunOptions{Parallel: 1}, nil)
+		if len(outs) != 1 || !outs[0].OK() {
+			t.Fatalf("experiment failed: %+v", outs)
+		}
+		return outs[0].Result.Render(), bench.CountersCSV(outs[0].Result)
+	}
+	var fastRender, fastCSV, refRender, refCSV string
+	withFastpath(true, func() { fastRender, fastCSV = run() })
+	withFastpath(false, func() { refRender, refCSV = run() })
+
+	if fastRender != refRender {
+		t.Errorf("rendered tables differ:\n%s", firstDiff(fastRender, refRender))
+	}
+	if fastCSV != refCSV {
+		t.Errorf("counter CSVs differ:\n%s", firstDiff(fastCSV, refCSV))
+	}
+}
+
+// firstDiff renders the first differing line of two multi-line strings.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return "line " + itoa(i+1) + ":\n  a: " + al[i] + "\n  b: " + bl[i]
+		}
+	}
+	return "line counts differ: " + itoa(len(al)) + " vs " + itoa(len(bl))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -15,6 +15,7 @@ import (
 
 	"hpmp/internal/addr"
 	"hpmp/internal/cache"
+	"hpmp/internal/fastpath"
 	"hpmp/internal/hpmp"
 	"hpmp/internal/memport"
 	"hpmp/internal/perm"
@@ -72,6 +73,14 @@ type MMU struct {
 	// statistics). It must not re-enter the MMU.
 	Observer func(va addr.VA, k perm.Access, res Result)
 
+	// Hot-path counter handles, resolved once in New. hData is indexed by
+	// cache.Level, replacing the per-access "mmu.data_"+HitLevel string
+	// concatenation (one heap allocation per simulated data access).
+	hData                                  [cache.NumLevels]*uint64
+	hTLBFlush                              *uint64
+	hAccessFaultPT, hPageFault, hProtFault *uint64
+	hAccessFaultData, hAccessFaultInline   *uint64
+
 	Counters stats.Counters
 }
 
@@ -88,7 +97,26 @@ func New(cfg Config, hier *cache.Hierarchy, mem *phys.Memory, checker ptw.Checke
 		Hier:    hier,
 		Mem:     mem,
 	}
+	for lvl := cache.Level(0); lvl < cache.NumLevels; lvl++ {
+		m.hData[lvl] = m.Counters.Handle("mmu.data_" + lvl.String())
+	}
+	m.hTLBFlush = m.Counters.Handle("mmu.tlb_flush")
+	m.hAccessFaultPT = m.Counters.Handle("mmu.access_fault_pt")
+	m.hPageFault = m.Counters.Handle("mmu.page_fault")
+	m.hProtFault = m.Counters.Handle("mmu.prot_fault")
+	m.hAccessFaultData = m.Counters.Handle("mmu.access_fault_data")
+	m.hAccessFaultInline = m.Counters.Handle("mmu.access_fault_inline")
 	return m
+}
+
+// bump increments a pre-resolved handle on the fast path, or performs the
+// original map-keyed increment on the reference path.
+func (m *MMU) bump(h *uint64, name string) {
+	if fastpath.Enabled {
+		*h++
+	} else {
+		m.Counters.Inc(name)
+	}
 }
 
 // Config returns the MMU's configuration.
@@ -106,7 +134,7 @@ func (m *MMU) FlushTLB() {
 	m.DTLB.FlushAll()
 	m.STLB.FlushAll()
 	m.Walker.FlushPWC()
-	m.Counters.Inc("mmu.tlb_flush")
+	m.bump(m.hTLBFlush, "mmu.tlb_flush")
 }
 
 // FlushVA invalidates one page's translation (sfence.vma with an address).
@@ -196,18 +224,18 @@ func (m *MMU) accessInner(va addr.VA, k perm.Access, priv perm.Priv, now uint64)
 	res.Latency += walk.Latency
 	if walk.AccessFault {
 		res.AccessFault = true
-		m.Counters.Inc("mmu.access_fault_pt")
+		m.bump(m.hAccessFaultPT, "mmu.access_fault_pt")
 		return res, nil
 	}
 	if walk.PageFault {
 		res.PageFault = true
-		m.Counters.Inc("mmu.page_fault")
+		m.bump(m.hPageFault, "mmu.page_fault")
 		return res, nil
 	}
 	tr := walk.Translation
 	if !m.pagePermOK(tr.Perm, tr.User, k, priv) {
 		res.ProtFault = true
-		m.Counters.Inc("mmu.prot_fault")
+		m.bump(m.hProtFault, "mmu.prot_fault")
 		return res, nil
 	}
 
@@ -222,7 +250,7 @@ func (m *MMU) accessInner(va addr.VA, k perm.Access, priv perm.Priv, now uint64)
 		res.DataCheckRefs += chk.MemRefs
 		if !chk.Allowed {
 			res.AccessFault = true
-			m.Counters.Inc("mmu.access_fault_data")
+			m.bump(m.hAccessFaultData, "mmu.access_fault_data")
 			return res, nil
 		}
 		physPerm = chk.PermFound
@@ -252,12 +280,12 @@ func (m *MMU) accessInner(va addr.VA, k perm.Access, priv perm.Priv, now uint64)
 func (m *MMU) finishFromTLB(res *Result, e tlb.Entry, va addr.VA, k perm.Access, priv perm.Priv, now uint64) (Result, error) {
 	if !m.pagePermOK(e.Perm, e.User, k, priv) {
 		res.ProtFault = true
-		m.Counters.Inc("mmu.prot_fault")
+		m.bump(m.hProtFault, "mmu.prot_fault")
 		return *res, nil
 	}
 	if !e.PhysPerm.Allows(k) {
 		res.AccessFault = true
-		m.Counters.Inc("mmu.access_fault_inline")
+		m.bump(m.hAccessFaultInline, "mmu.access_fault_inline")
 		return *res, nil
 	}
 	res.PA = addr.PA(e.PFN<<addr.PageShift) + addr.PA(va.Offset())
@@ -270,7 +298,11 @@ func (m *MMU) dataAccess(res *Result, k perm.Access, now uint64) {
 	res.Latency += r.Latency
 	res.DataLatency = r.Latency
 	res.DataRefs = 1
-	m.Counters.Inc("mmu.data_" + r.HitLevel)
+	if fastpath.Enabled {
+		*m.hData[r.Level]++
+	} else {
+		m.Counters.Inc("mmu.data_" + r.HitLevel)
+	}
 }
 
 // pagePermOK applies the PTE permission and privilege rules: U-mode needs

@@ -1,0 +1,63 @@
+package pmp
+
+import (
+	"testing"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/perm"
+)
+
+// FuzzPMPEncodeDecode round-trips the Fig. 6-a register formats: the
+// pmpcfg byte (R/W/X, A, the reserved T bit HPMP claims, L) through
+// MakeCfg and the Entry accessors, and the NAPOT pmpaddr encoding through
+// NAPOTEncode/NAPOTDecode. Any input the encoder accepts must decode back
+// to exactly what was encoded.
+func FuzzPMPEncodeDecode(f *testing.F) {
+	f.Add(uint8(7), uint8(3), true, false, uint64(0x8000_0000), uint8(12))
+	f.Add(uint8(1), uint8(0), false, true, uint64(0), uint8(0))
+	f.Add(uint8(5), uint8(1), false, false, uint64(0x1234_5000), uint8(30))
+	f.Add(uint8(0), uint8(2), true, true, ^uint64(0), uint8(50))
+	f.Fuzz(func(t *testing.T, permBits, modeBits uint8, locked, table bool, base uint64, sizeLog uint8) {
+		p := perm.Perm(permBits & 0x7)
+		mode := AddrMode(modeBits % 4)
+		cfg := MakeCfg(p, mode, locked, table)
+		e := Entry{Cfg: cfg}
+		if e.Perm() != p {
+			t.Errorf("cfg %#x: Perm() = %v, want %v", cfg, e.Perm(), p)
+		}
+		if e.Mode() != mode {
+			t.Errorf("cfg %#x: Mode() = %v, want %v", cfg, e.Mode(), mode)
+		}
+		if e.Locked() != locked {
+			t.Errorf("cfg %#x: Locked() = %v, want %v", cfg, e.Locked(), locked)
+		}
+		if e.Table() != table {
+			t.Errorf("cfg %#x: Table() = %v, want %v", cfg, e.Table(), table)
+		}
+
+		// NAPOT pmpaddr round trip: size 2^3..2^53 bytes, base size-aligned
+		// inside the 56-bit physical space pmpaddr bits [55:2] can express.
+		size := uint64(8) << (sizeLog % 51)
+		base &= uint64(1)<<55 - 1
+		base &^= size - 1
+		v, err := addr.NAPOTEncode(base, size)
+		if err != nil {
+			t.Fatalf("NAPOTEncode(%#x, %#x): %v", base, size, err)
+		}
+		gotBase, gotSize := addr.NAPOTDecode(v)
+		if gotBase != base || gotSize != size {
+			t.Errorf("NAPOT round trip (%#x, %#x) -> %#x -> (%#x, %#x)",
+				base, size, v, gotBase, gotSize)
+		}
+
+		// The encoder must reject what the decoder cannot represent.
+		if size > 8 {
+			if _, err := addr.NAPOTEncode(base|4, size); err == nil && base|4 != base {
+				t.Errorf("NAPOTEncode accepted misaligned base %#x for size %#x", base|4, size)
+			}
+		}
+		if _, err := addr.NAPOTEncode(base, size+1); err == nil {
+			t.Errorf("NAPOTEncode accepted non-power-of-two size %#x", size+1)
+		}
+	})
+}

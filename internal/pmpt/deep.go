@@ -346,13 +346,13 @@ func (w *Walker) WalkDeep(rootBase addr.PA, region addr.Range, mode TableMode, p
 		}
 		e := RootPTE(raw)
 		if !e.Valid() {
-			w.Counters.Inc("pmptw.invalid")
+			w.bump(w.handles().invalid, "pmptw.invalid")
 			return res, nil
 		}
 		if e.IsHuge() {
 			res.Valid = true
 			res.Perm = e.Perm()
-			w.Counters.Inc("pmptw.huge")
+			w.bump(w.handles().huge, "pmptw.huge")
 			return res, nil
 		}
 		base = e.LeafBase()
@@ -363,6 +363,6 @@ func (w *Walker) WalkDeep(rootBase addr.PA, region addr.Range, mode TableMode, p
 	}
 	res.Valid = true
 	res.Perm = LeafPTE(raw).PagePerm(int((off >> 12) & 0xf))
-	w.Counters.Inc("pmptw.walk")
+	w.bump(w.handles().walk, "pmptw.walk")
 	return res, nil
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"hpmp/internal/addr"
+	"hpmp/internal/fastpath"
 	"hpmp/internal/memport"
 	"hpmp/internal/perm"
 	"hpmp/internal/phys"
@@ -414,7 +415,42 @@ type Walker struct {
 	Port  memport.Port
 	Cache *WalkerCache
 
+	// hh holds pre-resolved counter handles. Walkers are built with struct
+	// literals throughout the tree, so resolution is lazy (first walk)
+	// rather than constructor-time.
+	hh walkerHandles
+
 	Counters stats.Counters
+}
+
+type walkerHandles struct {
+	invalid, huge, walk, cacheHit, memRef *uint64
+}
+
+// handles resolves the walker's counter handles on first use; resolution is
+// identical on the fast and reference paths so counter snapshots never
+// differ between them.
+func (w *Walker) handles() *walkerHandles {
+	if w.hh.invalid == nil {
+		w.hh = walkerHandles{
+			invalid:  w.Counters.Handle("pmptw.invalid"),
+			huge:     w.Counters.Handle("pmptw.huge"),
+			walk:     w.Counters.Handle("pmptw.walk"),
+			cacheHit: w.Counters.Handle("pmptw.cache_hit"),
+			memRef:   w.Counters.Handle("pmptw.mem_ref"),
+		}
+	}
+	return &w.hh
+}
+
+// bump increments a pre-resolved handle on the fast path, or performs the
+// original map-keyed increment on the reference path.
+func (w *Walker) bump(h *uint64, name string) {
+	if fastpath.Enabled {
+		*h++
+	} else {
+		w.Counters.Inc(name)
+	}
 }
 
 // Walk resolves the permission for pa against the table rooted at rootBase
@@ -434,13 +470,13 @@ func (w *Walker) Walk(rootBase addr.PA, region addr.Range, pa addr.PA, now uint6
 	}
 	re := RootPTE(raw)
 	if !re.Valid() {
-		w.Counters.Inc("pmptw.invalid")
+		w.bump(w.handles().invalid, "pmptw.invalid")
 		return res, nil
 	}
 	if re.IsHuge() {
 		res.Valid = true
 		res.Perm = re.Perm()
-		w.Counters.Inc("pmptw.huge")
+		w.bump(w.handles().huge, "pmptw.huge")
 		return res, nil
 	}
 	leafPA := re.LeafBase() + addr.PA(off0*8)
@@ -450,7 +486,7 @@ func (w *Walker) Walk(rootBase addr.PA, region addr.Range, pa addr.PA, now uint6
 	}
 	res.Valid = true
 	res.Perm = LeafPTE(lraw).PagePerm(pageIdx)
-	w.Counters.Inc("pmptw.walk")
+	w.bump(w.handles().walk, "pmptw.walk")
 	return res, nil
 }
 
@@ -459,7 +495,7 @@ func (w *Walker) fetch(pa addr.PA, now uint64, res *WalkResult) (uint64, error) 
 	if w.Cache != nil && w.Cache.Enabled {
 		if v, ok := w.Cache.Lookup(pa); ok {
 			res.Hits++
-			w.Counters.Inc("pmptw.cache_hit")
+			w.bump(w.handles().cacheHit, "pmptw.cache_hit")
 			return v, nil
 		}
 	}
@@ -469,7 +505,7 @@ func (w *Walker) fetch(pa addr.PA, now uint64, res *WalkResult) (uint64, error) 
 	}
 	res.Latency += lat
 	res.MemRefs++
-	w.Counters.Inc("pmptw.mem_ref")
+	w.bump(w.handles().memRef, "pmptw.mem_ref")
 	if w.Cache != nil && w.Cache.Enabled {
 		w.Cache.Insert(pa, v)
 	}

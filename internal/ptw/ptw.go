@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"hpmp/internal/addr"
+	"hpmp/internal/fastpath"
 	"hpmp/internal/hpmp"
 	"hpmp/internal/memport"
 	"hpmp/internal/perm"
@@ -50,6 +51,9 @@ type Walker struct {
 	// Page tables are kernel data structures, so S.
 	Priv perm.Priv
 
+	// Hot-path counter handles, resolved once in New.
+	hPWCHit, hPTEFetch, hWalkOK, hPageFault, hAccessFault *uint64
+
 	Counters stats.Counters
 }
 
@@ -60,7 +64,22 @@ func New(mode addr.Mode, port memport.Port, checker Checker, pwcEntries int) *Wa
 	if pwcEntries > 0 {
 		w.PWC = NewPWC(pwcEntries)
 	}
+	w.hPWCHit = w.Counters.Handle("ptw.pwc_hit")
+	w.hPTEFetch = w.Counters.Handle("ptw.pte_fetch")
+	w.hWalkOK = w.Counters.Handle("ptw.walk_ok")
+	w.hPageFault = w.Counters.Handle("ptw.page_fault")
+	w.hAccessFault = w.Counters.Handle("ptw.access_fault")
 	return w
+}
+
+// bump increments a pre-resolved handle on the fast path, or performs the
+// original map-keyed increment on the reference path.
+func (w *Walker) bump(h *uint64, name string) {
+	if fastpath.Enabled {
+		*h++
+	} else {
+		w.Counters.Inc(name)
+	}
 }
 
 // Walk translates va starting from the page table rooted at root, issuing
@@ -81,14 +100,14 @@ func (w *Walker) Walk(root addr.PA, va addr.VA, now uint64) (Result, error) {
 		}
 		if !hit && res.AccessFault {
 			res.FaultLevel = level
-			w.Counters.Inc("ptw.access_fault")
+			w.bump(w.hAccessFault, "ptw.access_fault")
 			return res, nil
 		}
 		e := pt.PTE(raw)
 		if !e.Valid() {
 			res.PageFault = true
 			res.FaultLevel = level
-			w.Counters.Inc("ptw.page_fault")
+			w.bump(w.hPageFault, "ptw.page_fault")
 			return res, nil
 		}
 		if e.Leaf() {
@@ -109,7 +128,7 @@ func (w *Walker) Walk(root addr.PA, va addr.VA, now uint64) (Result, error) {
 					User: e.User(),
 				}
 			}
-			w.Counters.Inc("ptw.walk_ok")
+			w.bump(w.hWalkOK, "ptw.walk_ok")
 			return res, nil
 		}
 		if level == 0 {
@@ -130,7 +149,7 @@ func (w *Walker) fetchPTE(pteAddr addr.PA, now uint64, res *Result) (raw uint64,
 	if w.PWC != nil {
 		if v, ok := w.PWC.Lookup(pteAddr); ok {
 			res.PWCHits++
-			w.Counters.Inc("ptw.pwc_hit")
+			w.bump(w.hPWCHit, "ptw.pwc_hit")
 			return v, true, nil
 		}
 	}
@@ -152,7 +171,7 @@ func (w *Walker) fetchPTE(pteAddr addr.PA, now uint64, res *Result) (raw uint64,
 	}
 	res.Latency += lat
 	res.PTRefs++
-	w.Counters.Inc("ptw.pte_fetch")
+	w.bump(w.hPTEFetch, "ptw.pte_fetch")
 	// Only valid entries are cached — a PWC never caches faults, or a
 	// later mapping of the page would be invisible until a flush.
 	if w.PWC != nil && pt.PTE(v).Valid() {

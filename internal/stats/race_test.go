@@ -51,3 +51,52 @@ func TestOwnershipConcurrency(t *testing.T) {
 		}
 	}
 }
+
+// TestOwnershipConcurrencyHandles runs the handle-based hot path under the
+// race detector with the same ownership discipline the simulator uses:
+// each worker resolves handles on its own Counters at "construction time",
+// bumps them through plain pointer increments, and the aggregator merges
+// only after the workers have joined.
+func TestOwnershipConcurrencyHandles(t *testing.T) {
+	const workers = 8
+	results := make([]*Counters, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &Counters{}
+			hit := c.Handle("tlb.hit")
+			miss := c.Handle("tlb.miss")
+			own := c.Handle(fmt.Sprintf("worker.%d", w))
+			for i := 0; i < 10000; i++ {
+				if i%7 == 0 {
+					*miss++
+				} else {
+					*hit++
+				}
+				*own++
+			}
+			c.Reset()
+			// Handles stay valid across Reset; re-bump through them.
+			for i := 0; i < 1000; i++ {
+				*hit++
+			}
+			results[w] = c
+		}()
+	}
+	wg.Wait()
+
+	var total Counters
+	agg := total.Handle("tlb.hit") // handle resolved before merging is fine
+	for _, c := range results {
+		total.Merge(c)
+	}
+	if *agg != workers*1000 {
+		t.Errorf("merged tlb.hit = %d, want %d", *agg, workers*1000)
+	}
+	if total.Get("tlb.miss") != 0 {
+		t.Errorf("tlb.miss must be zero after per-worker Reset: %d", total.Get("tlb.miss"))
+	}
+}

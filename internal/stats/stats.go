@@ -20,27 +20,49 @@ import (
 
 // Counters is an ordered set of named uint64 counters. The zero value is
 // ready to use.
+//
+// Two access styles share the same storage: the ordered string API
+// (Add/Inc/Get, used by tables, CSV snapshots, and cold paths) and
+// pre-resolved handles (Handle, used by the simulator's per-access hot
+// paths, which must not pay a map lookup or allocate a key per bump).
 type Counters struct {
 	order []string
-	vals  map[string]uint64
+	vals  map[string]*uint64
+}
+
+// Handle returns a stable pointer to the named counter's value, creating
+// the counter (at zero, registered in first-use order) if needed. The
+// pointer stays valid across Reset and Merge, so hot paths resolve it once
+// at construction time and bump it with a plain increment thereafter.
+//
+// Handles follow the package's ownership model: a handle may only be
+// dereferenced by the goroutine that owns the Counters instance.
+func (c *Counters) Handle(name string) *uint64 {
+	if c.vals == nil {
+		c.vals = make(map[string]*uint64)
+	}
+	if p, ok := c.vals[name]; ok {
+		return p
+	}
+	p := new(uint64)
+	c.vals[name] = p
+	c.order = append(c.order, name)
+	return p
 }
 
 // Add increments the named counter by n, creating it on first use.
-func (c *Counters) Add(name string, n uint64) {
-	if c.vals == nil {
-		c.vals = make(map[string]uint64)
-	}
-	if _, ok := c.vals[name]; !ok {
-		c.order = append(c.order, name)
-	}
-	c.vals[name] += n
-}
+func (c *Counters) Add(name string, n uint64) { *c.Handle(name) += n }
 
 // Inc increments the named counter by one.
-func (c *Counters) Inc(name string) { c.Add(name, 1) }
+func (c *Counters) Inc(name string) { *c.Handle(name)++ }
 
 // Get returns the counter's value (zero if it was never touched).
-func (c *Counters) Get(name string) uint64 { return c.vals[name] }
+func (c *Counters) Get(name string) uint64 {
+	if p, ok := c.vals[name]; ok {
+		return *p
+	}
+	return 0
+}
 
 // Names returns the counter names in first-use order.
 func (c *Counters) Names() []string {
@@ -49,17 +71,17 @@ func (c *Counters) Names() []string {
 	return out
 }
 
-// Reset zeroes every counter but keeps the name order.
+// Reset zeroes every counter but keeps the name order (and every handle).
 func (c *Counters) Reset() {
-	for k := range c.vals {
-		c.vals[k] = 0
+	for _, p := range c.vals {
+		*p = 0
 	}
 }
 
 // Merge adds every counter of o into c.
 func (c *Counters) Merge(o *Counters) {
 	for _, name := range o.order {
-		c.Add(name, o.vals[name])
+		c.Add(name, *o.vals[name])
 	}
 }
 
@@ -70,7 +92,7 @@ func (c *Counters) String() string {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%d", name, c.vals[name])
+		fmt.Fprintf(&b, "%s=%d", name, *c.vals[name])
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -137,5 +138,108 @@ func TestTableCSVEscaping(t *testing.T) {
 	csv := tb.CSV()
 	if !strings.Contains(csv, `"va""lue,with"`) {
 		t.Errorf("CSV escaping wrong: %q", csv)
+	}
+}
+
+// TestCounterHandles covers the hot-path handle API: a handle is a stable
+// pointer into the counter's storage, shared with the string API, and it
+// registers the name immediately (at zero) so both access styles see one
+// counter.
+func TestCounterHandles(t *testing.T) {
+	var c Counters
+	h := c.Handle("hits")
+	if got := c.Get("hits"); got != 0 {
+		t.Errorf("fresh handle value = %d, want 0", got)
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "hits" {
+		t.Errorf("Handle must register the name: %v", names)
+	}
+	*h += 3
+	c.Inc("hits")
+	if got := c.Get("hits"); got != 4 {
+		t.Errorf("handle and string API must share storage: got %d, want 4", got)
+	}
+	if c.Handle("hits") != h {
+		t.Error("Handle must return the same pointer on every call")
+	}
+	if got := c.String(); got != "hits=4" {
+		t.Errorf("String() = %q, want \"hits=4\"", got)
+	}
+
+	// The pointer survives Reset (zeroing) and Merge (growth of the map).
+	c.Reset()
+	if *h != 0 {
+		t.Errorf("Reset must zero through the handle: %d", *h)
+	}
+	var o Counters
+	for i := 0; i < 100; i++ {
+		o.Inc(fmt.Sprintf("other.%d", i))
+	}
+	o.Add("hits", 7)
+	c.Merge(&o)
+	if *h != 7 {
+		t.Errorf("handle stale after Merge: %d, want 7", *h)
+	}
+	*h++
+	if c.Get("hits") != 8 {
+		t.Errorf("post-merge handle writes lost: %d, want 8", c.Get("hits"))
+	}
+}
+
+// TestCountersMergeAfterReset: Reset keeps names at zero, and a following
+// Merge must land on the zeroed values, not resurrect pre-Reset ones.
+func TestCountersMergeAfterReset(t *testing.T) {
+	var c Counters
+	c.Add("x", 10)
+	c.Add("y", 20)
+	c.Reset()
+	var o Counters
+	o.Add("x", 1)
+	c.Merge(&o)
+	if c.Get("x") != 1 || c.Get("y") != 0 {
+		t.Errorf("Merge after Reset: %s", c.String())
+	}
+	if got := c.String(); got != "x=1 y=0" {
+		t.Errorf("name order must survive Reset+Merge: %q", got)
+	}
+}
+
+// TestEmptyRendering: zero-value Counters and empty tables must render
+// cleanly (the runner prints them for experiments that record nothing).
+func TestEmptyRendering(t *testing.T) {
+	var c Counters
+	if c.String() != "" {
+		t.Errorf("empty Counters String() = %q, want \"\"", c.String())
+	}
+	if len(c.Names()) != 0 {
+		t.Errorf("empty Counters Names() = %v", c.Names())
+	}
+	c.Reset()            // must not panic on nil map
+	c.Merge(&Counters{}) // merging empty into empty is a no-op
+
+	tb := NewTable("Empty", "col")
+	out := tb.Render()
+	if !strings.Contains(out, "== Empty ==") || !strings.Contains(out, "col") {
+		t.Errorf("empty table render:\n%s", out)
+	}
+	if csv := tb.CSV(); csv != "col\n" {
+		t.Errorf("empty table CSV = %q", csv)
+	}
+	headerless := NewTable("")
+	if headerless.Render() != "" {
+		t.Errorf("headerless empty table must render to nothing: %q", headerless.Render())
+	}
+}
+
+// TestZeroHistogram: an untouched histogram reports zeros everywhere
+// instead of dividing by its zero count.
+func TestZeroHistogram(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("zero histogram stats: count=%d sum=%d mean=%v min=%d max=%d",
+			h.Count(), h.Sum(), h.Mean(), h.Min(), h.Max())
+	}
+	if h.Quantile(0.5) != 0 || h.Quantile(0.99) != 0 {
+		t.Errorf("zero histogram quantiles: p50=%d p99=%d", h.Quantile(0.5), h.Quantile(0.99))
 	}
 }

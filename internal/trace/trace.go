@@ -84,7 +84,18 @@ func (r *Recorder) Record(va addr.VA, k perm.Access, res mmu.Result) {
 		r.next = (r.next + 1) % cap(r.ring)
 	}
 	r.latHist.Observe(res.Latency)
-	r.Counters.Inc("trace.tlb_" + res.TLBHit)
+	// Constant counter names per TLB outcome: recording must not allocate
+	// per observed access (the recorder rides the MMU's hot path).
+	switch res.TLBHit {
+	case "L1":
+		r.Counters.Inc("trace.tlb_L1")
+	case "L2":
+		r.Counters.Inc("trace.tlb_L2")
+	case "miss":
+		r.Counters.Inc("trace.tlb_miss")
+	default:
+		r.Counters.Inc("trace.tlb_" + res.TLBHit)
+	}
 	r.Counters.Add("trace.pt_refs", uint64(res.Walk.PTRefs))
 	r.Counters.Add("trace.chk_refs", uint64(res.Walk.PTCheckRefs+res.DataCheckRefs))
 	r.Counters.Add("trace.data_refs", uint64(res.DataRefs))
