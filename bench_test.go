@@ -19,6 +19,7 @@ import (
 	"hpmp/internal/phys"
 	"hpmp/internal/pmpt"
 	"hpmp/internal/pt"
+	"hpmp/internal/ptw"
 )
 
 // runExperiment drives one experiment b.N times and reports rows/op so the
@@ -166,6 +167,122 @@ func BenchmarkTLBHitAccess(b *testing.B) {
 			b.Fatal(err)
 		}
 		now += res.Latency
+	}
+}
+
+// ptwWalkRig builds a page-table walker with an 8-entry PWC over a flat
+// memory port, with one VA mapped and the PWC warmed so that every PTE
+// fetch of a repeat walk hits the PWC — the walker's hottest loop after
+// the L1 TLB.
+func ptwWalkRig(tb testing.TB) (*ptw.Walker, addr.PA, addr.VA) {
+	mem := phys.New(64 * addr.MiB)
+	ptAlloc := phys.NewFrameAllocator(addr.Range{Base: 0x40_0000, Size: 4 * addr.MiB}, false)
+	tbl, err := pt.New(mem, ptAlloc, addr.Sv39)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	va := addr.VA(0x1000_0000)
+	if err := tbl.Map(va, 0x80_0000, perm.RW, true); err != nil {
+		tb.Fatal(err)
+	}
+	w := ptw.New(addr.Sv39, &memport.Flat{Mem: mem, Latency: 10}, nil, 8)
+	if res, err := w.Walk(tbl.Root(), va, 0); err != nil || res.PageFault {
+		tb.Fatalf("warm walk failed: %+v %v", res, err)
+	}
+	return w, tbl.Root(), va
+}
+
+// BenchmarkPTWWalkPWCHit measures the simulator's own cost of one page
+// walk whose three PTE fetches all hit the page walk cache. The PR-3
+// invariant is 0 allocs/op; BENCH_pr3.json records the pre/post numbers.
+func BenchmarkPTWWalkPWCHit(b *testing.B) {
+	w, root, va := ptwWalkRig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := uint64(1000)
+	for i := 0; i < b.N; i++ {
+		res, err := w.Walk(root, va, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now += res.Latency + 1
+	}
+}
+
+// TestPTWWalkPWCHitZeroAllocs pins the PR-3 invariant outside the
+// benchmark: a PWC-hit page walk must not allocate.
+func TestPTWWalkPWCHitZeroAllocs(t *testing.T) {
+	w, root, va := ptwWalkRig(t)
+	now := uint64(1000)
+	allocs := testing.AllocsPerRun(1000, func() {
+		res, err := w.Walk(root, va, now)
+		if err != nil || res.PageFault {
+			t.Fatalf("%+v %v", res, err)
+		}
+		now += res.Latency + 1
+	})
+	if allocs != 0 {
+		t.Errorf("PWC-hit walk allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// pmptWalkRig builds a PMPTW with an enabled 8-entry walker cache over a
+// 2-level PMP Table, warmed so both pmpte fetches of a repeat check hit
+// the cache.
+func pmptWalkRig(tb testing.TB) (*pmpt.Walker, addr.PA, addr.Range, addr.PA) {
+	mem := phys.New(256 * addr.MiB)
+	alloc := phys.NewFrameAllocator(addr.Range{Base: 0x10_0000, Size: 16 * addr.MiB}, false)
+	region := addr.Range{Base: 0, Size: 256 * addr.MiB}
+	tbl, err := pmpt.NewTable(mem, alloc, region)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pa := addr.PA(0x800_0000)
+	if err := tbl.SetRangePerm(addr.Range{Base: pa, Size: addr.MiB}, perm.RW); err != nil {
+		tb.Fatal(err)
+	}
+	cache := pmpt.NewWalkerCache(8)
+	cache.Enabled = true
+	w := &pmpt.Walker{Port: &memport.Flat{Mem: mem, Latency: 10}, Cache: cache}
+	res, err := w.Walk(tbl.RootBase(), region, pa, 0)
+	if err != nil || !res.Valid {
+		tb.Fatalf("warm walk failed: %+v %v", res, err)
+	}
+	return w, tbl.RootBase(), region, pa
+}
+
+// BenchmarkPMPTWalkCacheHit measures the simulator's own cost of one
+// permission-table walk whose root and leaf pmpte fetches both hit the
+// PMPTW cache. The PR-3 invariant is 0 allocs/op; BENCH_pr3.json records
+// the pre/post numbers.
+func BenchmarkPMPTWalkCacheHit(b *testing.B) {
+	w, root, region, pa := pmptWalkRig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := uint64(1000)
+	for i := 0; i < b.N; i++ {
+		res, err := w.Walk(root, region, pa, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now += res.Latency + 1
+	}
+}
+
+// TestPMPTWalkCacheHitZeroAllocs pins the PR-3 invariant outside the
+// benchmark: a cache-hit permission-table walk must not allocate.
+func TestPMPTWalkCacheHitZeroAllocs(t *testing.T) {
+	w, root, region, pa := pmptWalkRig(t)
+	now := uint64(1000)
+	allocs := testing.AllocsPerRun(1000, func() {
+		res, err := w.Walk(root, region, pa, now)
+		if err != nil || !res.Valid {
+			t.Fatalf("%+v %v", res, err)
+		}
+		now += res.Latency + 1
+	})
+	if allocs != 0 {
+		t.Errorf("cache-hit permission walk allocates %.1f times per op, want 0", allocs)
 	}
 }
 

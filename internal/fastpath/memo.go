@@ -1,0 +1,30 @@
+package fastpath
+
+// Memo is the one-entry last-hit hint the simulator's fully associative
+// probe loops (the L1 TLBs, the page walk cache, the PMPTW cache) keep in
+// front of their linear search. It stores 1+index of the slot the previous
+// lookup hit; the zero value is an empty memo.
+//
+// The hint is only ever an accelerator, never a source of truth: before
+// trusting it the caller revalidates the slot (valid bit + tag match)
+// against the probe, and on a memo hit performs exactly the LRU tick and
+// counter updates the full search would have made. Tags are unique among
+// valid slots in every structure that uses a Memo, so a validated hint
+// returns precisely the entry the search would find and the modeled
+// hardware is bit-for-bit unaffected — the differential tests in
+// internal/integration gate this. Callers consult the memo only when
+// Enabled is set; the reference path always runs the full search.
+type Memo struct {
+	hint int
+}
+
+// Index returns the memoized slot index, or -1 when the memo is empty.
+func (m *Memo) Index() int { return m.hint - 1 }
+
+// Remember records i as the last-hit slot.
+func (m *Memo) Remember(i int) { m.hint = i + 1 }
+
+// Clear empties the memo. Every invalidation path of the owning structure
+// must call it so a stale hint can never outlive a flush (the hint would
+// still be revalidated, but a cleared memo is cheaper and obviously safe).
+func (m *Memo) Clear() { m.hint = 0 }

@@ -21,10 +21,14 @@ import (
 	"hpmp/internal/cpu"
 	"hpmp/internal/fastpath"
 	"hpmp/internal/kernel"
+	"hpmp/internal/memport"
 	"hpmp/internal/mmu"
 	"hpmp/internal/monitor"
 	"hpmp/internal/perm"
+	"hpmp/internal/phys"
+	"hpmp/internal/pmpt"
 	"hpmp/internal/stats"
+	"hpmp/internal/virt"
 )
 
 // diffRun captures everything observable about one workload run.
@@ -220,6 +224,369 @@ func TestDifferentialFastVsReference(t *testing.T) {
 				t.Fatalf("workload did no work (cycles=%d, results=%d)", fast.cycles, len(fast.results))
 			}
 		})
+	}
+}
+
+// virtDiffRun captures everything observable about one two-stage (virt)
+// workload run.
+type virtDiffRun struct {
+	results  []virt.Result
+	counters string
+	cycles   uint64
+}
+
+// runDifferentialVirtWorkload boots a guest under an Sv39x4 nested table
+// with an HPMP checker (segment over the NPT pool, permission table over
+// everything else, PMPTW cache enabled) and drives a deterministic mix of
+// guest accesses: same-page streaks (GTLB memo), page hops (PWC probes
+// behind GTLB misses), page and access faults, and both hfence flavours
+// (which clear the PWC/GTLB/NPTLB and their memos).
+func runDifferentialVirtWorkload(t *testing.T) virtDiffRun {
+	t.Helper()
+	mach := cpu.NewMachine(cpu.RocketPlatform(), memSize)
+	nptRegion := addr.Range{Base: 0x0100_0000, Size: 4 * addr.MiB}
+	gptRegion := addr.Range{Base: 0x0180_0000, Size: 4 * addr.MiB}
+	dataRegion := addr.Range{Base: 0x0800_0000, Size: 64 * addr.MiB}
+	tblRegion := addr.Range{Base: 0x0400_0000, Size: 16 * addr.MiB}
+	// A hole the permission table never grants: mapping it translates fine
+	// but must access-fault at the physical check.
+	forbidden := addr.Range{Base: 0x1800_0000, Size: addr.MiB}
+
+	nptAlloc := phys.NewFrameAllocator(nptRegion, false)
+	gptAlloc := phys.NewFrameAllocator(gptRegion, false)
+	dataAlloc := phys.NewFrameAllocator(dataRegion, false)
+	tblAlloc := phys.NewFrameAllocator(tblRegion, false)
+
+	npt, err := virt.NewNestedTable(mach.Mem, nptAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest, err := virt.NewGuestTable(mach.Mem, npt, 0x4000_0000, 256, gptAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := addr.Range{Base: 0, Size: memSize}
+	ptab, err := pmpt.NewTable(mach.Mem, tblAlloc, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ptab.SetRangePermPaged(gptRegion, perm.RW); err != nil {
+		t.Fatal(err)
+	}
+	if err := ptab.SetRangePermPaged(dataRegion, perm.RWX); err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.Checker.SetSegment(0, nptRegion, perm.RW, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.Checker.SetTable(1, all, ptab.RootBase()); err != nil {
+		t.Fatal(err)
+	}
+	// The PMPTW cache is disabled by default (§7); enable it here so the
+	// differential run exercises the WalkerCache probe path and its memo.
+	mach.PMPTWCache.Enabled = true
+
+	hyp := virt.NewHypervisor(mach, mach.Checker, npt, guest)
+
+	// Guest heap: 32 pages mapped up front (the builder side is untimed and
+	// identical across runs).
+	const heapPages = 32
+	heapGVA := addr.VA(0x1000_0000)
+	for i := 0; i < heapPages; i++ {
+		gpa := addr.GPA(0x8000_0000) + addr.GPA(i)*addr.PageSize
+		pa, err := dataAlloc.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := npt.Map(gpa, pa, perm.RW); err != nil {
+			t.Fatal(err)
+		}
+		if err := guest.Map(heapGVA+addr.VA(i)*addr.PageSize, gpa, perm.RW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The forged mapping: translates, then must fail the physical check.
+	evilGVA := addr.VA(0x2000_0000)
+	evilGPA := addr.GPA(0x9000_0000)
+	if err := npt.Map(evilGPA, forbidden.Base, perm.RW); err != nil {
+		t.Fatal(err)
+	}
+	if err := guest.Map(evilGVA, evilGPA, perm.RW); err != nil {
+		t.Fatal(err)
+	}
+	unmappedGVA := addr.VA(0x3000_0000)
+
+	var results []virt.Result
+	now := uint64(0)
+	record := func(res virt.Result, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+		now += res.Latency + 1
+	}
+
+	lcg := uint64(0xda3e39cb94b95bdb)
+	next := func() uint64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return lcg >> 33
+	}
+
+	for i := 0; i < 1500; i++ {
+		switch r := next() % 100; {
+		case r < 40:
+			// Same-page streak.
+			gva := heapGVA + addr.VA(next()%heapPages)*addr.PageSize
+			for j := uint64(0); j < 1+next()%5; j++ {
+				k := perm.Access(perm.Read)
+				if next()%3 == 0 {
+					k = perm.Write
+				}
+				record(hyp.AccessGuest(gva+addr.VA((next()%500)*8), k, now))
+			}
+		case r < 70:
+			// Page-hopping stride: GTLB misses drive full 3-D walks through
+			// the PWC and the PMPTW cache.
+			stride := addr.VA(1+next()%5) * addr.PageSize
+			gva := heapGVA + addr.VA(next()%heapPages)*addr.PageSize
+			for j := 0; j < 3; j++ {
+				record(hyp.AccessGuest(gva, perm.Read, now))
+				gva = heapGVA + (gva-heapGVA+stride)%(heapPages*addr.PageSize)
+			}
+		case r < 82:
+			// Faults must match bit for bit.
+			if next()%2 == 0 {
+				record(hyp.AccessGuest(unmappedGVA, perm.Read, now))
+			} else {
+				record(hyp.AccessGuest(evilGVA, perm.Read, now))
+			}
+		case r < 90:
+			// Fences: reset the combined translations and every memo.
+			if next()%3 == 0 {
+				hyp.HFenceGVMA()
+			} else {
+				hyp.HFenceVVMA()
+			}
+		default:
+			// Re-touch after a single-page GTLB-relevant pause.
+			record(hyp.AccessGuest(heapGVA+addr.VA(next()%heapPages)*addr.PageSize, perm.Read, now))
+		}
+	}
+
+	var all2 stats.Counters
+	for _, c := range []*stats.Counters{
+		&hyp.Counters,
+		&hyp.GTLB.Counters,
+		&hyp.NPTLB.Counters,
+		&mach.Hier.L1.Counters,
+		&mach.Hier.L2.Counters,
+		&mach.Hier.LLC.Counters,
+		&mach.Hier.Counters,
+		&mach.Hier.Mem.Counters,
+		&mach.Checker.Counters,
+		&mach.Checker.Walker.Counters,
+	} {
+		all2.Merge(c)
+	}
+	return virtDiffRun{results: results, counters: all2.String(), cycles: now}
+}
+
+// TestDifferentialVirtFastVsReference promotes the differential gate to the
+// two-stage (virt) pipeline: the guest TLBs, the hypervisor PWC, and the
+// PMPTW cache all run their memoized fast paths, and every observable —
+// per-access Results, merged counters, cycle totals — must be byte-identical
+// to the reference path.
+func TestDifferentialVirtFastVsReference(t *testing.T) {
+	var fast, ref virtDiffRun
+	withFastpath(true, func() { fast = runDifferentialVirtWorkload(t) })
+	withFastpath(false, func() { ref = runDifferentialVirtWorkload(t) })
+
+	if len(fast.results) != len(ref.results) {
+		t.Fatalf("recorded %d results fast vs %d reference", len(fast.results), len(ref.results))
+	}
+	for i := range fast.results {
+		if fast.results[i] != ref.results[i] {
+			t.Fatalf("result %d differs:\n  fast: %+v\n  ref:  %+v", i, fast.results[i], ref.results[i])
+		}
+	}
+	if fast.cycles != ref.cycles {
+		t.Errorf("cycle totals differ: fast %d, reference %d", fast.cycles, ref.cycles)
+	}
+	if fast.counters != ref.counters {
+		t.Errorf("counters differ:\nfast: %s\nref:  %s", fast.counters, ref.counters)
+	}
+	if fast.cycles == 0 || len(fast.results) == 0 {
+		t.Fatalf("workload did no work (cycles=%d, results=%d)", fast.cycles, len(fast.results))
+	}
+	// The gate is only meaningful if the workload actually drove the
+	// memoized probe loops and both fault flavours.
+	for _, want := range []string{"gtlb.hit=", "pmptw.cache_hit=", "pmptw.walk="} {
+		if !strings.Contains(fast.counters+" ", want) || strings.Contains(fast.counters+" ", want+"0 ") {
+			t.Errorf("workload never exercised %q (counters: %s)", want, fast.counters)
+		}
+	}
+	var faults, denies bool
+	for _, r := range fast.results {
+		faults = faults || r.PageFault
+		denies = denies || r.AccessFault
+	}
+	if !faults || !denies {
+		t.Errorf("workload must produce both fault flavours (page=%v access=%v)", faults, denies)
+	}
+}
+
+// deepDiffRun captures everything observable about one deep-walker run.
+type deepDiffRun struct {
+	results  []pmpt.WalkResult
+	counters string
+	cycles   uint64
+}
+
+// runDifferentialDeepWalkWorkload drives the 3-level PMPT walker (Mode
+// extension, 32 GiB region) through a deterministic probe mix — repeats
+// that hit the enabled PMPTW cache, strides across huge/pointer/invalid
+// spans, table edits followed by invalidations — and cross-checks every
+// hardware walk against the software oracle.
+func runDifferentialDeepWalkWorkload(t *testing.T) deepDiffRun {
+	t.Helper()
+	mem := phys.New(64 * addr.GiB) // sparse: only touched frames materialize
+	alloc := phys.NewFrameAllocator(addr.Range{Base: 0x10_0000, Size: 64 * addr.MiB}, false)
+	region := addr.Range{Base: 0, Size: 32 * addr.GiB}
+	tbl, err := pmpt.NewDeepTable(mem, alloc, region, pmpt.Mode3Level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mixed-granularity permission landscape: a 32 MiB huge span, a paged
+	// 1 MiB window beyond the 2-level reach, a leaf-entry span, and a single
+	// read-only page.
+	if err := tbl.SetRangePerm(addr.Range{Base: 0x1000_0000, Size: pmpt.RootEntrySpan}, perm.RWX); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetRangePerm(addr.Range{Base: 20 * addr.GiB, Size: addr.MiB}, perm.RW); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetRangePerm(addr.Range{Base: 24 * addr.GiB, Size: pmpt.LeafEntrySpan}, perm.R); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetPagePerm(30*addr.GiB, perm.R); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := pmpt.NewWalkerCache(8)
+	cache.Enabled = true
+	w := &pmpt.Walker{Port: &memport.Flat{Mem: mem, Latency: 9}, Cache: cache}
+
+	probeBases := []addr.PA{
+		0x1000_0000,            // huge root span
+		20 * addr.GiB,          // deep paged window
+		24 * addr.GiB,          // leaf-entry span
+		30 * addr.GiB,          // single page
+		0x5000_0000,            // invalid
+		31*addr.GiB + 0x12_000, // invalid, deep
+	}
+
+	var results []pmpt.WalkResult
+	now := uint64(0)
+	lcg := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return lcg >> 33
+	}
+
+	for i := 0; i < 4000; i++ {
+		switch r := next() % 100; {
+		case r < 55:
+			// Streaks over one base: the cache's (and memo's) bread and
+			// butter — repeated root/leaf pmpte probes.
+			base := probeBases[next()%uint64(len(probeBases))]
+			for j := uint64(0); j < 1+next()%4; j++ {
+				pa := base + addr.PA((next()%256)*addr.PageSize)
+				res, err := w.WalkDeep(tbl.RootBase(), region, pmpt.Mode3Level, pa, now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results = append(results, res)
+				now += res.Latency + 1
+				// Oracle check (Cheang et al.-style): the hardware walk must
+				// agree with the software lookup in both validity and perm.
+				swPerm, err := tbl.LookupSW(pa)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hwPerm := perm.None
+				if res.Valid {
+					hwPerm = res.Perm
+				}
+				if hwPerm != swPerm {
+					t.Fatalf("walk/oracle disagree at %v: hw %v (valid=%v) sw %v", pa, res.Perm, res.Valid, swPerm)
+				}
+			}
+		case r < 90:
+			// Stride across bases: LRU churn in the 8-entry cache.
+			base := probeBases[next()%uint64(len(probeBases))]
+			stride := addr.PA(1+next()%7) * pmpt.LeafEntrySpan
+			pa := base
+			for j := 0; j < 3; j++ {
+				res, err := w.WalkDeep(tbl.RootBase(), region, pmpt.Mode3Level, pa, now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results = append(results, res)
+				now += res.Latency + 1
+				pa += stride
+				if !region.Contains(pa) {
+					pa = base
+				}
+			}
+		case r < 96:
+			// Table edit + mandatory invalidation (the §5 flush rule): the
+			// memo must die with the cache.
+			p := perm.R
+			if next()%2 == 0 {
+				p = perm.RW
+			}
+			pg := 20*addr.GiB + addr.PA((next()%256)*addr.PageSize)
+			if err := tbl.SetPagePerm(pg, p); err != nil {
+				t.Fatal(err)
+			}
+			cache.Invalidate()
+		default:
+			cache.Invalidate()
+		}
+	}
+
+	return deepDiffRun{results: results, counters: w.Counters.String(), cycles: now}
+}
+
+// TestDifferentialDeepWalkerFastVsReference promotes the differential gate
+// to the deep (3-level) PMPT walker: fast and reference paths must produce
+// byte-identical WalkResults, counters, and cycle totals.
+func TestDifferentialDeepWalkerFastVsReference(t *testing.T) {
+	var fast, ref deepDiffRun
+	withFastpath(true, func() { fast = runDifferentialDeepWalkWorkload(t) })
+	withFastpath(false, func() { ref = runDifferentialDeepWalkWorkload(t) })
+
+	if len(fast.results) != len(ref.results) {
+		t.Fatalf("recorded %d results fast vs %d reference", len(fast.results), len(ref.results))
+	}
+	for i := range fast.results {
+		if fast.results[i] != ref.results[i] {
+			t.Fatalf("result %d differs:\n  fast: %+v\n  ref:  %+v", i, fast.results[i], ref.results[i])
+		}
+	}
+	if fast.cycles != ref.cycles {
+		t.Errorf("cycle totals differ: fast %d, reference %d", fast.cycles, ref.cycles)
+	}
+	if fast.counters != ref.counters {
+		t.Errorf("counters differ:\nfast: %s\nref:  %s", fast.counters, ref.counters)
+	}
+	if fast.cycles == 0 || len(fast.results) == 0 {
+		t.Fatalf("workload did no work (cycles=%d, results=%d)", fast.cycles, len(fast.results))
+	}
+	for _, want := range []string{"pmptw.cache_hit=", "pmptw.mem_ref=", "pmptw.huge=", "pmptw.invalid=", "pmptw.walk="} {
+		if !strings.Contains(fast.counters+" ", want) || strings.Contains(fast.counters+" ", want+"0 ") {
+			t.Errorf("workload never exercised %q (counters: %s)", want, fast.counters)
+		}
 	}
 }
 

@@ -514,12 +514,15 @@ func (w *Walker) fetch(pa addr.PA, now uint64, res *WalkResult) (uint64, error) 
 
 // WalkerCache is the PMPTW-Cache: a small fully-associative cache of pmpte
 // words, with the same replacement rule as the PWC (true LRU). The paper's
-// prototype uses 8 entries and disables it by default (§7).
+// prototype uses 8 entries and disables it by default (§7). A
+// zero-capacity cache is legal and stores nothing.
 type WalkerCache struct {
 	Enabled bool
 	entries []wcEntry
-	cap     int
 	tick    uint64
+	// memo is the one-entry last-hit hint in front of the associative scan,
+	// consulted only on the fast path and revalidated before use.
+	memo fastpath.Memo
 }
 
 type wcEntry struct {
@@ -532,11 +535,56 @@ type wcEntry struct {
 // NewWalkerCache builds a cache with n entries (disabled until Enabled is
 // set).
 func NewWalkerCache(n int) *WalkerCache {
-	return &WalkerCache{entries: make([]wcEntry, n), cap: n}
+	return &WalkerCache{entries: make([]wcEntry, n)}
 }
 
-// Lookup probes for the pmpte at pa.
+// Len returns the capacity.
+func (c *WalkerCache) Len() int { return len(c.entries) }
+
+// Lookup probes for the pmpte at pa. On the fast path the scan starts at
+// the memoized last-hit slot and wraps: a permission walk probes root then
+// leaf in a stable cycle, so the next probe's slot is usually at or just
+// after the previous hit. PAs are unique among used entries (Insert
+// refreshes a duplicate in place), so scan order cannot change which entry
+// is found, a miss still inspects every used slot, and the LRU tick on a
+// hit is exactly the one the in-order scan would apply — the hint only
+// reorders the search.
 func (c *WalkerCache) Lookup(pa addr.PA) (uint64, bool) {
+	if fastpath.Enabled {
+		start := 0
+		if i := c.memo.Index(); i >= 0 {
+			start = i
+		}
+		// Used entries always form a prefix: Insert fills the first free
+		// slot, eviction replaces in place, and Invalidate clears all — so
+		// the first unused slot ends each scan segment.
+		for i := start; i < len(c.entries); i++ {
+			e := &c.entries[i]
+			if !e.used {
+				break
+			}
+			if e.pa == pa {
+				c.tick++
+				e.lru = c.tick
+				c.memo.Remember(i)
+				return e.val, true
+			}
+		}
+		for i := 0; i < start; i++ {
+			e := &c.entries[i]
+			if !e.used {
+				break
+			}
+			if e.pa == pa {
+				c.tick++
+				e.lru = c.tick
+				c.memo.Remember(i)
+				return e.val, true
+			}
+		}
+		return 0, false
+	}
+	// Reference path: the original in-order scan.
 	for i := range c.entries {
 		e := &c.entries[i]
 		if e.used && e.pa == pa {
@@ -548,32 +596,44 @@ func (c *WalkerCache) Lookup(pa addr.PA) (uint64, bool) {
 	return 0, false
 }
 
-// Insert adds or refreshes the pmpte at pa, evicting LRU.
+// Insert adds or refreshes the pmpte at pa, evicting true-LRU. One pass
+// finds the duplicate, the first free slot, and the LRU victim together;
+// a duplicate always wins over placement, so a second copy of pa can
+// never be stored. A zero-capacity cache no-ops.
 func (c *WalkerCache) Insert(pa addr.PA, val uint64) {
+	if len(c.entries) == 0 {
+		return
+	}
 	c.tick++
-	vi := 0
+	free, victim := -1, -1
 	for i := range c.entries {
 		e := &c.entries[i]
-		if e.used && e.pa == pa {
+		if !e.used {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if e.pa == pa {
 			e.val, e.lru = val, c.tick
 			return
 		}
-		if !e.used {
-			vi = i
-			goto place
-		}
-		if e.lru < c.entries[vi].lru {
-			vi = i
+		if victim < 0 || e.lru < c.entries[victim].lru {
+			victim = i
 		}
 	}
-place:
-	c.entries[vi] = wcEntry{pa: pa, val: val, lru: c.tick, used: true}
+	slot := free
+	if slot < 0 {
+		slot = victim
+	}
+	c.entries[slot] = wcEntry{pa: pa, val: val, lru: c.tick, used: true}
 }
 
-// Invalidate clears the cache; the monitor calls it whenever it edits a
-// table (mirroring the TLB flush requirement in §5).
+// Invalidate clears the cache and its last-hit memo; the monitor calls it
+// whenever it edits a table (mirroring the TLB flush requirement in §5).
 func (c *WalkerCache) Invalidate() {
 	for i := range c.entries {
 		c.entries[i] = wcEntry{}
 	}
+	c.memo.Clear()
 }

@@ -302,6 +302,103 @@ func TestWalkerCacheLRU(t *testing.T) {
 	}
 }
 
+// TestWalkerCacheEvictionOrder fills the cache, touches entries in a
+// known order, and asserts successive inserts evict exactly in LRU order.
+func TestWalkerCacheEvictionOrder(t *testing.T) {
+	c := NewWalkerCache(3)
+	c.Enabled = true
+	c.Insert(0x100, 1)
+	c.Insert(0x200, 2)
+	c.Insert(0x300, 3)
+	c.Lookup(0x100)    // recency old→new: 0x200, 0x300, 0x100
+	c.Insert(0x400, 4) // evicts 0x200
+	if _, ok := c.Lookup(0x200); ok {
+		t.Fatal("0x200 should have been evicted first")
+	}
+	c.Insert(0x500, 5) // evicts 0x300
+	if _, ok := c.Lookup(0x300); ok {
+		t.Fatal("0x300 should have been evicted second")
+	}
+	for _, pa := range []addr.PA{0x100, 0x400, 0x500} {
+		if _, ok := c.Lookup(pa); !ok {
+			t.Errorf("%#x should still be cached", uint64(pa))
+		}
+	}
+}
+
+// TestWalkerCacheDuplicateInsertRefreshes: re-inserting a present pmpte
+// must refresh it in place; a later eviction must not resurrect a stale
+// shadow copy.
+func TestWalkerCacheDuplicateInsertRefreshes(t *testing.T) {
+	c := NewWalkerCache(2)
+	c.Enabled = true
+	c.Insert(0x100, 1)
+	c.Insert(0x200, 2)
+	c.Insert(0x100, 11) // refresh: 0x200 becomes LRU
+	c.Insert(0x300, 3)  // must evict 0x200
+	if _, ok := c.Lookup(0x200); ok {
+		t.Fatal("0x200 should have been the eviction victim")
+	}
+	if v, ok := c.Lookup(0x100); !ok || v != 11 {
+		t.Errorf("0x100 = %d,%v; want refreshed value 11", v, ok)
+	}
+	c.Lookup(0x300)
+	c.Insert(0x400, 4) // evicts 0x100
+	if v, ok := c.Lookup(0x100); ok {
+		t.Errorf("0x100 resurrected with value %d: duplicate slot was stored", v)
+	}
+}
+
+// TestWalkerCacheInvalidateClearsMemo: Invalidate must clear the last-hit
+// memo along with the entries.
+func TestWalkerCacheInvalidateClearsMemo(t *testing.T) {
+	c := NewWalkerCache(4)
+	c.Enabled = true
+	c.Insert(0x100, 1)
+	if _, ok := c.Lookup(0x100); !ok {
+		t.Fatal("prime lookup should hit")
+	}
+	c.Invalidate()
+	if _, ok := c.Lookup(0x100); ok {
+		t.Fatal("lookup after Invalidate must miss")
+	}
+	c.Insert(0x100, 2)
+	if v, ok := c.Lookup(0x100); !ok || v != 2 {
+		t.Errorf("refill = %d,%v; want 2", v, ok)
+	}
+}
+
+// TestWalkerCacheZeroCapacity: NewWalkerCache(plat.PMPTWCacheEntries) makes
+// 0 reachable from platform configuration; Insert/Lookup must no-op rather
+// than panic on entries[0].
+func TestWalkerCacheZeroCapacity(t *testing.T) {
+	c := NewWalkerCache(0)
+	c.Enabled = true
+	c.Insert(0x100, 1) // must not panic
+	if _, ok := c.Lookup(0x100); ok {
+		t.Error("zero-capacity cache must never hit")
+	}
+	c.Invalidate() // must not panic
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+	// A walker over a zero-capacity (but enabled) cache still walks
+	// correctly — every fetch just goes to memory.
+	tbl, mem := testTable(t, 64*addr.MiB)
+	base := tbl.Region().Base
+	tbl.SetPagePerm(base, perm.RW)
+	w := &Walker{Port: &memport.Flat{Mem: mem, Latency: 7}, Cache: c}
+	for i, now := range []uint64{0, 100} {
+		res, err := w.Walk(tbl.RootBase(), tbl.Region(), base, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MemRefs != 2 || res.Hits != 0 || res.Perm != perm.RW {
+			t.Errorf("walk %d: refs=%d hits=%d perm=%v, want 2/0/RW", i, res.MemRefs, res.Hits, res.Perm)
+		}
+	}
+}
+
 func TestWalkOutsideRegionFails(t *testing.T) {
 	tbl, mem := testTable(t, 64*addr.MiB)
 	w := &Walker{Port: &memport.Flat{Mem: mem, Latency: 1}}

@@ -89,6 +89,7 @@ func (w *Walker) Walk(root addr.PA, va addr.VA, now uint64) (Result, error) {
 	if !w.Mode.Canonical(va) {
 		res.PageFault = true
 		res.FaultLevel = w.Mode.Levels() - 1
+		w.bump(w.hPageFault, "ptw.page_fault")
 		return res, nil
 	}
 	base := root
@@ -132,8 +133,10 @@ func (w *Walker) Walk(root addr.PA, va addr.VA, now uint64) (Result, error) {
 			return res, nil
 		}
 		if level == 0 {
+			// A pointer entry where only leaves are legal: malformed table.
 			res.PageFault = true
 			res.FaultLevel = 0
+			w.bump(w.hPageFault, "ptw.page_fault")
 			return res, nil
 		}
 		base = e.Target()
@@ -189,10 +192,13 @@ func (w *Walker) FlushPWC() {
 
 // PWC is the page walk cache: a small fully-associative LRU cache of PTE
 // words keyed by PTE physical address. Table 1's "PTECache" is 8 entries;
-// Fig. 17 grows it to 32.
+// Fig. 17 grows it to 32. A zero-capacity PWC is legal and stores nothing.
 type PWC struct {
 	entries []pwcEntry
 	tick    uint64
+	// memo is the one-entry last-hit hint in front of the associative scan,
+	// consulted only on the fast path and revalidated before use.
+	memo fastpath.Memo
 }
 
 type pwcEntry struct {
@@ -208,8 +214,49 @@ func NewPWC(n int) *PWC { return &PWC{entries: make([]pwcEntry, n)} }
 // Len returns the capacity.
 func (c *PWC) Len() int { return len(c.entries) }
 
-// Lookup probes for the PTE at pa.
+// Lookup probes for the PTE at pa. On the fast path the scan starts at the
+// memoized last-hit slot and wraps: a walk probes its PTE addresses in a
+// stable cycle, so the next probe's slot is usually at or just after the
+// previous hit. PAs are unique among used entries (Insert refreshes a
+// duplicate in place), so scan order cannot change which entry is found, a
+// miss still inspects every used slot, and the LRU tick on a hit is exactly
+// the one the in-order scan would apply — the hint only reorders the search.
 func (c *PWC) Lookup(pa addr.PA) (uint64, bool) {
+	if fastpath.Enabled {
+		start := 0
+		if i := c.memo.Index(); i >= 0 {
+			start = i
+		}
+		// Used entries always form a prefix: Insert fills the first free
+		// slot, eviction replaces in place, and Invalidate clears all — so
+		// the first unused slot ends each scan segment.
+		for i := start; i < len(c.entries); i++ {
+			e := &c.entries[i]
+			if !e.used {
+				break
+			}
+			if e.pa == pa {
+				c.tick++
+				e.lru = c.tick
+				c.memo.Remember(i)
+				return e.val, true
+			}
+		}
+		for i := 0; i < start; i++ {
+			e := &c.entries[i]
+			if !e.used {
+				break
+			}
+			if e.pa == pa {
+				c.tick++
+				e.lru = c.tick
+				c.memo.Remember(i)
+				return e.val, true
+			}
+		}
+		return 0, false
+	}
+	// Reference path: the original in-order scan.
 	for i := range c.entries {
 		e := &c.entries[i]
 		if e.used && e.pa == pa {
@@ -221,33 +268,45 @@ func (c *PWC) Lookup(pa addr.PA) (uint64, bool) {
 	return 0, false
 }
 
-// Insert adds or refreshes the PTE at pa, evicting LRU.
+// Insert adds or refreshes the PTE at pa, evicting true-LRU. One pass
+// finds the duplicate, the first free slot, and the LRU victim together;
+// a duplicate always wins over placement, so a second copy of pa can
+// never be stored. A zero-capacity cache no-ops.
 func (c *PWC) Insert(pa addr.PA, val uint64) {
+	if len(c.entries) == 0 {
+		return
+	}
 	c.tick++
-	vi := 0
+	free, victim := -1, -1
 	for i := range c.entries {
 		e := &c.entries[i]
-		if e.used && e.pa == pa {
+		if !e.used {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if e.pa == pa {
 			e.val, e.lru = val, c.tick
 			return
 		}
-		if !e.used {
-			vi = i
-			goto place
-		}
-		if e.lru < c.entries[vi].lru {
-			vi = i
+		if victim < 0 || e.lru < c.entries[victim].lru {
+			victim = i
 		}
 	}
-place:
-	c.entries[vi] = pwcEntry{pa: pa, val: val, lru: c.tick, used: true}
+	slot := free
+	if slot < 0 {
+		slot = victim
+	}
+	c.entries[slot] = pwcEntry{pa: pa, val: val, lru: c.tick, used: true}
 }
 
-// Invalidate clears the cache.
+// Invalidate clears the cache and its last-hit memo.
 func (c *PWC) Invalidate() {
 	for i := range c.entries {
 		c.entries[i] = pwcEntry{}
 	}
+	c.memo.Clear()
 }
 
 // Warm inserts a PTE without statistics, for Table 2 state priming.

@@ -224,6 +224,91 @@ func TestSuperpageWalk(t *testing.T) {
 	}
 }
 
+// TestPageFaultCounterNonCanonical: a non-canonical VA must both set
+// PageFault and bump ptw.page_fault — the counter used to skew low here.
+func TestPageFaultCounterNonCanonical(t *testing.T) {
+	e := newEnv(t)
+	w := New(addr.Sv39, e.port, nil, 0)
+	res, err := w.Walk(e.tbl.Root(), addr.VA(0x40_0000_0000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PageFault || res.FaultLevel != 2 {
+		t.Fatalf("non-canonical VA must fault at the root level: %+v", res)
+	}
+	if got := w.Counters.Get("ptw.page_fault"); got != 1 {
+		t.Errorf("ptw.page_fault = %d, want 1", got)
+	}
+}
+
+// TestPageFaultCounterPointerAtLevel0: a level-0 entry that is valid but
+// not a leaf (a pointer where only leaves are legal) must fault AND count.
+func TestPageFaultCounterPointerAtLevel0(t *testing.T) {
+	e := newEnv(t)
+	root := e.tbl.Root()
+	va := addr.VA(0x4000_0000)
+	l1page, _ := e.alloc.Alloc()
+	e.mem.ZeroPage(l1page)
+	l0page, _ := e.alloc.Alloc()
+	e.mem.ZeroPage(l0page)
+	bogus, _ := e.alloc.Alloc()
+	e.mem.Write64(root+addr.PA(addr.Sv39.VPN(va, 2)*8), uint64(pt.MakePointer(l1page)))
+	e.mem.Write64(l1page+addr.PA(addr.Sv39.VPN(va, 1)*8), uint64(pt.MakePointer(l0page)))
+	// The malformed part: the leaf-level entry is itself a pointer.
+	e.mem.Write64(l0page+addr.PA(addr.Sv39.VPN(va, 0)*8), uint64(pt.MakePointer(bogus)))
+
+	w := New(addr.Sv39, e.port, nil, 0)
+	res, err := w.Walk(root, va, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PageFault || res.FaultLevel != 0 {
+		t.Fatalf("pointer at level 0 must page-fault at level 0: %+v", res)
+	}
+	if got := w.Counters.Get("ptw.page_fault"); got != 1 {
+		t.Errorf("ptw.page_fault = %d, want 1", got)
+	}
+}
+
+// TestPageFaultCounterMatchesResults: across every fault shape the walker
+// can produce, the counter must equal the number of PageFault results.
+func TestPageFaultCounterMatchesResults(t *testing.T) {
+	e := newEnv(t)
+	va := addr.VA(0x4000_0000)
+	e.tbl.Map(va, 0x800_0000, perm.RW, true)
+	w := New(addr.Sv39, e.port, nil, 0)
+
+	faults := 0
+	for _, probe := range []addr.VA{
+		va,                     // ok
+		0x5000_0000,            // invalid root entry
+		addr.VA(0x40_0000_000), // unmapped but canonical
+		addr.VA(0x7f_ffff_f000),
+	} {
+		res, err := w.Walk(e.tbl.Root(), probe, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PageFault {
+			faults++
+		}
+	}
+	// Non-canonical probes too.
+	for _, probe := range []addr.VA{0x40_0000_0000, addr.VA(1) << 62} {
+		res, err := w.Walk(e.tbl.Root(), probe, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.PageFault {
+			t.Fatalf("probe %v should fault", probe)
+		}
+		faults++
+	}
+	if got := w.Counters.Get("ptw.page_fault"); got != uint64(faults) {
+		t.Errorf("ptw.page_fault = %d, want %d (one per PageFault result)", got, faults)
+	}
+}
+
 func TestPWCLRU(t *testing.T) {
 	c := NewPWC(2)
 	c.Insert(0x10, 1)
@@ -239,5 +324,92 @@ func TestPWCLRU(t *testing.T) {
 	c.Insert(0x10, 99)
 	if v, _ := c.Lookup(0x10); v != 99 {
 		t.Error("reinsert must update in place")
+	}
+}
+
+// TestPWCEvictionOrder fills the cache, touches entries in a known order,
+// and asserts that successive inserts evict exactly in LRU order.
+func TestPWCEvictionOrder(t *testing.T) {
+	c := NewPWC(3)
+	c.Insert(0x10, 1)
+	c.Insert(0x20, 2)
+	c.Insert(0x30, 3)
+	// Recency order (old→new): 0x10, 0x20, 0x30. Touch 0x10: now 0x20 is LRU.
+	c.Lookup(0x10)
+	c.Insert(0x40, 4) // evicts 0x20
+	if _, ok := c.Lookup(0x20); ok {
+		t.Fatal("0x20 should have been evicted first")
+	}
+	// Recency: 0x30, 0x10, 0x40 (lookup misses don't touch).
+	c.Insert(0x50, 5) // evicts 0x30
+	if _, ok := c.Lookup(0x30); ok {
+		t.Fatal("0x30 should have been evicted second")
+	}
+	for _, pa := range []addr.PA{0x10, 0x40, 0x50} {
+		if _, ok := c.Lookup(pa); !ok {
+			t.Errorf("%#x should still be cached", uint64(pa))
+		}
+	}
+}
+
+// TestPWCDuplicateInsertRefreshes: re-inserting a present PA must refresh
+// its value and recency in place — never store a second copy whose later
+// eviction would resurrect a stale value.
+func TestPWCDuplicateInsertRefreshes(t *testing.T) {
+	c := NewPWC(2)
+	c.Insert(0x10, 1)
+	c.Insert(0x20, 2)
+	c.Insert(0x10, 11) // refresh: 0x20 becomes LRU
+	c.Insert(0x30, 3)  // must evict 0x20, not a duplicate slot of 0x10
+	if _, ok := c.Lookup(0x20); ok {
+		t.Fatal("0x20 should have been the eviction victim")
+	}
+	if v, ok := c.Lookup(0x10); !ok || v != 11 {
+		t.Errorf("0x10 = %d,%v; want refreshed value 11", v, ok)
+	}
+	// Evict 0x10 and make sure no shadow copy with the old value remains.
+	c.Lookup(0x30)
+	c.Insert(0x40, 4)
+	if v, ok := c.Lookup(0x10); ok {
+		t.Errorf("0x10 resurrected with value %d: duplicate slot was stored", v)
+	}
+}
+
+// TestPWCInvalidateClearsMemo: after a Lookup primes the last-hit memo,
+// Invalidate must clear both the entries and the memo — a memoized probe
+// of the same PA right after a flush must miss.
+func TestPWCInvalidateClearsMemo(t *testing.T) {
+	c := NewPWC(4)
+	c.Insert(0x10, 1)
+	if _, ok := c.Lookup(0x10); !ok {
+		t.Fatal("prime lookup should hit")
+	}
+	c.Invalidate()
+	if _, ok := c.Lookup(0x10); ok {
+		t.Fatal("lookup after Invalidate must miss")
+	}
+	// And the slot is genuinely reusable.
+	c.Insert(0x10, 2)
+	if v, ok := c.Lookup(0x10); !ok || v != 2 {
+		t.Errorf("refill = %d,%v; want 2", v, ok)
+	}
+}
+
+// TestPWCZeroCapacity: a 0-entry PWC is reachable from configuration and
+// must no-op on Insert/Lookup instead of panicking (entries[0] on an empty
+// slice, the pre-PR-3 behaviour).
+func TestPWCZeroCapacity(t *testing.T) {
+	c := NewPWC(0)
+	c.Insert(0x10, 1) // must not panic
+	if _, ok := c.Lookup(0x10); ok {
+		t.Error("zero-capacity PWC must never hit")
+	}
+	c.Invalidate() // must not panic
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+	c.Warm(0x20, 2)
+	if _, ok := c.Lookup(0x20); ok {
+		t.Error("zero-capacity PWC must ignore Warm")
 	}
 }

@@ -44,10 +44,11 @@ type L1 struct {
 	name    string
 	entries []Entry
 	tick    uint64
-	// memo is 1+index of the entry the last lookup hit (0 = no memo), the
-	// one-entry fast path in front of the associative search. It is only a
-	// hint: the entry is revalidated (valid bit + VPN match) before use.
-	memo int
+	// memo is the one-entry fast path in front of the associative search:
+	// the shared last-hit hint (fastpath.Memo) the PWC and PMPTW cache also
+	// use. It is only a hint: the entry is revalidated (valid bit + VPN
+	// match) before use.
+	memo fastpath.Memo
 
 	hHit, hMiss *uint64
 
@@ -65,7 +66,7 @@ func NewL1(name string, n int) *L1 {
 // Lookup returns the entry translating vpn.
 func (t *L1) Lookup(vpn uint64) (Entry, bool) {
 	if fastpath.Enabled {
-		if i := t.memo - 1; i >= 0 {
+		if i := t.memo.Index(); i >= 0 {
 			e := &t.entries[i]
 			if e.valid && e.VPN == vpn {
 				// Memo hit: VPNs are unique among valid entries, so this is
@@ -82,7 +83,7 @@ func (t *L1) Lookup(vpn uint64) (Entry, bool) {
 			if e.valid && e.VPN == vpn {
 				t.tick++
 				e.lru = t.tick
-				t.memo = i + 1
+				t.memo.Remember(i)
 				*t.hHit++
 				return *e, true
 			}
@@ -104,28 +105,38 @@ func (t *L1) Lookup(vpn uint64) (Entry, bool) {
 	return Entry{}, false
 }
 
-// Insert fills an entry, evicting true-LRU.
+// Insert fills an entry, evicting true-LRU. One pass finds the duplicate,
+// the first free slot, and the LRU victim together (same scan as
+// PWC.Insert / WalkerCache.Insert); a zero-capacity TLB no-ops.
 func (t *L1) Insert(e Entry) {
+	if len(t.entries) == 0 {
+		return
+	}
 	t.tick++
 	e.valid = true
 	e.lru = t.tick
-	vi := 0
+	free, victim := -1, -1
 	for i := range t.entries {
 		cur := &t.entries[i]
-		if cur.valid && cur.VPN == e.VPN {
+		if !cur.valid {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if cur.VPN == e.VPN {
 			*cur = e
 			return
 		}
-		if !cur.valid {
-			vi = i
-			goto place
-		}
-		if cur.lru < t.entries[vi].lru {
-			vi = i
+		if victim < 0 || cur.lru < t.entries[victim].lru {
+			victim = i
 		}
 	}
-place:
-	t.entries[vi] = e
+	slot := free
+	if slot < 0 {
+		slot = victim
+	}
+	t.entries[slot] = e
 }
 
 // FlushAll invalidates every entry (sfence.vma with no arguments, and the
@@ -134,7 +145,7 @@ func (t *L1) FlushAll() {
 	for i := range t.entries {
 		t.entries[i] = Entry{}
 	}
-	t.memo = 0
+	t.memo.Clear()
 }
 
 // FlushVPN invalidates the entry for one page (sfence.vma with an address).
@@ -144,7 +155,7 @@ func (t *L1) FlushVPN(vpn uint64) {
 			t.entries[i] = Entry{}
 		}
 	}
-	t.memo = 0
+	t.memo.Clear()
 }
 
 // Len returns the capacity.

@@ -71,6 +71,21 @@ func TestFlush(t *testing.T) {
 	}
 }
 
+// TestL1ZeroCapacity: a 0-entry L1 must no-op on Insert and always miss,
+// matching the zero-capacity contract of the PWC and PMPTW cache.
+func TestL1ZeroCapacity(t *testing.T) {
+	l := NewL1("z", 0)
+	l.Insert(Entry{VPN: 1, PFN: 1}) // must not panic
+	if _, ok := l.Lookup(1); ok {
+		t.Error("zero-capacity TLB must never hit")
+	}
+	l.FlushAll()
+	l.FlushVPN(1)
+	if l.Len() != 0 {
+		t.Errorf("Len = %d, want 0", l.Len())
+	}
+}
+
 func TestL2DirectMapped(t *testing.T) {
 	l := NewL2("stlb", 16, 3)
 	l.Insert(Entry{VPN: 5, PFN: 50})
