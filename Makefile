@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race smoke fuzz bench eval eval-quick examples clean
+.PHONY: all build vet test test-short race smoke obs-smoke fuzz bench eval eval-quick examples clean
 
 all: build vet test race smoke fuzz
 
@@ -27,6 +27,16 @@ race:
 # End-to-end smoke: the full quick evaluation through the CLI.
 smoke:
 	$(GO) run ./cmd/hpmpsim -quick run all > /dev/null
+
+# Observability smoke: one quick experiment with tracing and metrics
+# export on, leaving the artifacts in obs-out/ for inspection (CI uploads
+# them). The trace must parse back through cmd/hpmptrace.
+obs-smoke:
+	$(GO) run ./cmd/hpmpsim -quick -progress \
+		-trace obs-out/traces -trace-every 16 \
+		-metrics-dir obs-out/metrics \
+		run fig10 > /dev/null
+	$(GO) run ./cmd/hpmptrace -read obs-out/traces/fig10.trace.jsonl > /dev/null
 
 # Short fuzz pass over the register-format round trips and the PMPTW
 # walker-vs-oracle cross-check (go test -fuzz takes one target at a time).
@@ -60,3 +70,4 @@ artifacts:
 clean:
 	$(GO) clean ./...
 	rm -f test_output.txt bench_output.txt
+	rm -rf obs-out

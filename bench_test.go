@@ -15,6 +15,7 @@ import (
 	"hpmp/internal/hpmp"
 	"hpmp/internal/memport"
 	"hpmp/internal/mmu"
+	"hpmp/internal/obs"
 	"hpmp/internal/perm"
 	"hpmp/internal/phys"
 	"hpmp/internal/pmpt"
@@ -306,5 +307,53 @@ func TestTLBHitAccessZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("TLB-hit access allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestTLBHitAccessZeroAllocsWithTracer pins the enabled-tracing budget: a
+// traced access writes into the tracer's preallocated ring, so even with a
+// tracer attached the steady-state path must not allocate. (The disabled
+// state is covered by TestTLBHitAccessZeroAllocs — the hooks are nil there
+// and cost one pointer compare.)
+func TestTLBHitAccessZeroAllocsWithTracer(t *testing.T) {
+	m, va := benchRig(t)
+	m.Trace = obs.NewTracer(obs.DefaultRing, 1)
+	if _, err := m.Access(va, perm.Read, perm.U, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(1000)
+	allocs := testing.AllocsPerRun(1000, func() {
+		res, err := m.Access(va, perm.Read, perm.U, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now += res.Latency
+	})
+	if allocs != 0 {
+		t.Errorf("traced TLB-hit access allocates %.1f times per op, want 0", allocs)
+	}
+	if m.Trace.Seen() == 0 {
+		t.Error("tracer saw no events despite being attached")
+	}
+}
+
+// TestPTWWalkPWCHitZeroAllocsWithTracer: same budget for the walker's
+// PTE-fetch events.
+func TestPTWWalkPWCHitZeroAllocsWithTracer(t *testing.T) {
+	w, root, va := ptwWalkRig(t)
+	w.Trace = obs.NewTracer(obs.DefaultRing, 1)
+	now := uint64(1000)
+	allocs := testing.AllocsPerRun(1000, func() {
+		res, err := w.Walk(root, va, now)
+		if err != nil || res.PageFault {
+			t.Fatalf("%+v %v", res, err)
+		}
+		now += res.Latency + 1
+	})
+	if allocs != 0 {
+		t.Errorf("traced PWC-hit walk allocates %.1f times per op, want 0", allocs)
+	}
+	if w.Trace.Seen() == 0 {
+		t.Error("tracer saw no events despite being attached")
 	}
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpmp/internal/obs"
+)
+
+func TestListShowsSpecMetadata(t *testing.T) {
+	code, stdout, _ := runCLI(t, "list")
+	if code != 0 {
+		t.Fatalf("list exited %d", code)
+	}
+	// Spec-driven columns: figure reference and cost class ride along.
+	for _, want := range []string{"Fig. 10", "light", "heavy"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("list output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "describe", "fig10")
+	if code != 0 {
+		t.Fatalf("describe exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"id:       fig10", "figure:   Fig. 10", "cost:     light", "counters:"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("describe output missing %q:\n%s", want, stdout)
+		}
+	}
+	// table4 is analytical: it declares no counters and says so.
+	code, stdout, _ = runCLI(t, "describe", "table4")
+	if code != 0 || !strings.Contains(stdout, "analytical") {
+		t.Errorf("describe table4 (exit %d):\n%s", code, stdout)
+	}
+}
+
+func TestDescribeValidation(t *testing.T) {
+	if code, _, _ := runCLI(t, "describe"); code != 2 {
+		t.Errorf("describe without id: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "describe", "nope"); code != 2 {
+		t.Errorf("describe unknown id: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-trace-every", "0", "run", "fig10"); code != 2 {
+		t.Errorf("-trace-every 0: exit %d, want 2", code)
+	}
+}
+
+// TestMetricsAndTraceArtifacts runs one quick experiment with both artifact
+// directories and checks every file: the metrics JSON parses under the
+// documented schema, the Prometheus text carries the counter families, and
+// the trace file round-trips through the shared reader.
+func TestMetricsAndTraceArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots simulated systems")
+	}
+	dir := t.TempDir()
+	mdir := filepath.Join(dir, "metrics")
+	tdir := filepath.Join(dir, "traces")
+	code, stdout, stderr := runCLI(t,
+		"-quick", "-metrics-dir", mdir, "-trace", tdir, "-trace-every", "16",
+		"run", "fig3a")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "### fig3a") {
+		t.Errorf("tables missing from stdout:\n%s", stdout)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(mdir, "fig3a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Metrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if m.Schema != obs.MetricsSchema || m.Experiment != "fig3a" || m.Status != "ok" || !m.Quick {
+		t.Errorf("metrics header wrong: %+v", m)
+	}
+	if len(m.Counters) == 0 || m.WallSeconds <= 0 {
+		t.Errorf("metrics payload empty: %d counters, wall %v", len(m.Counters), m.WallSeconds)
+	}
+	if m.Trace == nil || m.Trace.SampleEvery != 16 {
+		t.Errorf("trace summary missing or wrong stride: %+v", m.Trace)
+	}
+
+	prom, err := os.ReadFile(filepath.Join(mdir, "fig3a.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hpmp_experiment_wall_seconds", "hpmp_counter{experiment=\"fig3a\"", "hpmp_trace_events"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("prometheus file missing %q", want)
+		}
+	}
+
+	tf, err := os.Open(filepath.Join(tdir, "fig3a.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	h, events, err := obs.ReadTrace(tf)
+	if err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	}
+	if h.Source != "fig3a" || h.SampleEvery != 16 || len(events) == 0 {
+		t.Errorf("trace header %+v with %d events", h, len(events))
+	}
+	if h.Kept != m.Trace.Kept {
+		t.Errorf("trace header kept=%d, metrics kept=%d", h.Kept, m.Trace.Kept)
+	}
+}
+
+// TestArtifactsKeepStdoutIdentical: the golden-pinned stdout stream must be
+// byte-identical with and without observability artifacts enabled.
+func TestArtifactsKeepStdoutIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots simulated systems")
+	}
+	_, plain, _ := runCLI(t, "-quick", "run", "fig3a")
+	dir := t.TempDir()
+	_, traced, _ := runCLI(t,
+		"-quick", "-metrics-dir", filepath.Join(dir, "m"), "-trace", filepath.Join(dir, "t"),
+		"run", "fig3a")
+	if plain != traced {
+		t.Errorf("stdout changed when artifacts were enabled (lengths %d vs %d)", len(plain), len(traced))
+	}
+}

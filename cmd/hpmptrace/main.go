@@ -3,10 +3,16 @@
 // hit rates, reference breakdown, latency distribution) — the tool for
 // understanding *why* a workload reacts to the permission table.
 //
+// Traces are written in the shared hpmp-trace/v1 JSONL format (see
+// internal/obs), the same format cmd/hpmpsim's -trace flag emits, and
+// hpmptrace reads either tool's files back with -read.
+//
 // Usage:
 //
 //	hpmptrace -mode pmpt -workload pyaes
 //	hpmptrace -mode hpmp -workload qsort -csv trace.csv
+//	hpmptrace -mode hpmp -workload qsort -trace qsort.trace.jsonl
+//	hpmptrace -read qsort.trace.jsonl        # pretty-print any v1 trace
 //	hpmptrace -list
 package main
 
@@ -19,6 +25,7 @@ import (
 	"hpmp/internal/cpu"
 	"hpmp/internal/kernel"
 	"hpmp/internal/monitor"
+	"hpmp/internal/obs"
 	"hpmp/internal/trace"
 	"hpmp/internal/workloads"
 )
@@ -42,9 +49,18 @@ func main() {
 	wlFlag := flag.String("workload", "qsort", "workload name (see -list)")
 	platFlag := flag.String("platform", "rocket", "platform: rocket | boom")
 	csvPath := flag.String("csv", "", "write the retained event ring as CSV to this file")
+	tracePath := flag.String("trace", "", "write the retained event ring as a JSONL trace (hpmp-trace/v1) to this file")
+	readPath := flag.String("read", "", "pretty-print a JSONL trace file and exit (no simulation)")
 	keep := flag.Int("keep", 4096, "events retained in the ring")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
+
+	if *readPath != "" {
+		if err := readTrace(*readPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cat := catalog()
 	if *list {
@@ -115,6 +131,41 @@ func main() {
 		}
 		fmt.Printf("\nwrote %d events to %s\n", len(rec.Events()), *csvPath)
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		source := fmt.Sprintf("%s/%s/%s", w.Name(), mode, plat.Core.Name)
+		if err := obs.WriteTrace(f, source, rec.Tracer()); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %d events to %s\n", len(rec.Events()), *tracePath)
+	}
+}
+
+// readTrace decodes a hpmp-trace/v1 file (from this tool or hpmpsim
+// -trace) and pretty-prints it.
+func readTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, events, err := obs.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: source=%s sample-every=%d ring=%d seen=%d sampled=%d kept=%d\n",
+		path, h.Source, h.SampleEvery, h.Ring, h.Seen, h.Sampled, h.Kept)
+	for _, ev := range events {
+		fmt.Println(obs.FormatEvent(ev))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -16,6 +16,7 @@ import (
 	"hpmp/internal/cpu"
 	"hpmp/internal/kernel"
 	"hpmp/internal/monitor"
+	"hpmp/internal/obs"
 	"hpmp/internal/perm"
 	"hpmp/internal/stats"
 )
@@ -31,6 +32,10 @@ type Config struct {
 	// machine the experiment boots. Config is passed by value, so the
 	// pointer is shared across the copies one experiment makes.
 	obs *observer
+	// tracer, when set by the runner, is attached to every machine the
+	// experiment boots via cpu.Machine.SetTracer, so the translation-path
+	// event trace covers the whole experiment.
+	tracer *obs.Tracer
 }
 
 // MinMemSize is the smallest simulated DRAM size the harness accepts. The
@@ -55,14 +60,35 @@ func (c Config) Validate() error {
 }
 
 // observe registers a machine's cpu and mmu counters with the run's
-// observer; a no-op outside the runner.
+// observer and attaches the run's tracer (when one is configured) to the
+// machine's translation-path hooks; a no-op outside the runner.
 func (c Config) observe(m *cpu.Machine) {
-	if c.obs == nil || m == nil {
+	if m == nil {
+		return
+	}
+	if c.tracer != nil {
+		m.SetTracer(c.tracer)
+	}
+	if c.obs == nil {
 		return
 	}
 	c.obs.add(func(into *stats.Counters) {
 		into.Merge(&m.Core.Counters)
 		into.Merge(&m.MMU.Counters)
+		// The translation structures keep their own counter sets; merging
+		// them here is what makes the per-experiment metrics snapshot
+		// (hit-rate derivations in internal/obs) self-contained.
+		into.Merge(&m.MMU.Walker.Counters)
+		into.Merge(&m.MMU.ITLB.Counters)
+		into.Merge(&m.MMU.DTLB.Counters)
+		into.Merge(&m.MMU.STLB.Counters)
+		into.Merge(&m.Hier.Counters)
+		if chk, ok := m.MMU.HPMPChecker(); ok {
+			into.Merge(&chk.Counters)
+			if chk.Walker != nil {
+				into.Merge(&chk.Walker.Counters)
+			}
+		}
 	})
 }
 
@@ -114,16 +140,46 @@ func (r *Result) Render() string {
 	return out
 }
 
-// Experiment is one registered runner.
-type Experiment struct {
+// CostClass classifies an experiment's relative full-size runtime, so CI
+// jobs and users can pick cheap subsets without memorizing experiment
+// internals.
+type CostClass string
+
+const (
+	// CostLight: sub-second even at full size (analytical models, single
+	// accesses).
+	CostLight CostClass = "light"
+	// CostMedium: seconds at full size (single-suite sweeps).
+	CostMedium CostClass = "medium"
+	// CostHeavy: the long poles of `run all` (multi-platform suite sweeps).
+	CostHeavy CostClass = "heavy"
+)
+
+// ExperimentSpec is one registered experiment: the run function plus the
+// metadata the CLI (`list`, `describe`), the metrics exporter, and the
+// spec-conformance test are driven by. It replaces the bare (id, title,
+// func) registry.
+type ExperimentSpec struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) (*Result, error)
+	// Figure names the paper figure or table the experiment regenerates
+	// (e.g. "Fig. 10", "Table 3"), or the extension it models.
+	Figure string
+	// Counters lists counter-key prefixes a successful run is expected to
+	// produce in its observability snapshot; the spec test enforces them.
+	Counters []string
+	// Cost classifies full-size runtime.
+	Cost CostClass
+	Run  func(cfg Config) (*Result, error)
 }
+
+// Experiment aliases ExperimentSpec — the pre-redesign name, kept so call
+// sites read naturally where the metadata is irrelevant.
+type Experiment = ExperimentSpec
 
 var (
 	regMu    sync.Mutex
-	registry []Experiment
+	registry []ExperimentSpec
 )
 
 // idPattern constrains experiment IDs to lowercase alphanumerics with
@@ -132,13 +188,20 @@ var idPattern = regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*$`)
 
 // Register adds an experiment to the registry. It panics on a duplicate or
 // malformed ID: both are programming errors that would otherwise surface
-// as an ambiguous ByID much later.
-func Register(e Experiment) {
+// as an ambiguous ByID much later. An empty Cost defaults to CostMedium.
+func Register(e ExperimentSpec) {
 	if !idPattern.MatchString(e.ID) {
 		panic(fmt.Sprintf("bench: malformed experiment id %q", e.ID))
 	}
 	if e.Run == nil {
 		panic(fmt.Sprintf("bench: experiment %q has no Run function", e.ID))
+	}
+	switch e.Cost {
+	case CostLight, CostMedium, CostHeavy:
+	case "":
+		e.Cost = CostMedium
+	default:
+		panic(fmt.Sprintf("bench: experiment %q has unknown cost class %q", e.ID, e.Cost))
 	}
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -150,9 +213,7 @@ func Register(e Experiment) {
 	registry = append(registry, e)
 }
 
-func register(id, title string, run func(cfg Config) (*Result, error)) {
-	Register(Experiment{ID: id, Title: title, Run: run})
-}
+func register(spec ExperimentSpec) { Register(spec) }
 
 // All returns every experiment in natural ID order: digit runs compare
 // numerically, so fig3a–fig3d precede fig10 and table3 precedes table4.

@@ -11,7 +11,14 @@ import (
 )
 
 func init() {
-	register("ext-enclave", "Enclave-hosted vs host-hosted serverless invocations", runExtEnclave)
+	register(ExperimentSpec{
+		ID:       "ext-enclave",
+		Title:    "Enclave-hosted vs host-hosted serverless invocations",
+		Figure:   "extension (§6 deployment models)",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel.", "monitor."},
+		Cost:     CostMedium,
+		Run:      runExtEnclave,
+	})
 }
 
 // runExtEnclave measures the paper's actual deployment model: each

@@ -19,10 +19,38 @@ import (
 // calls out.
 
 func init() {
-	register("ext-svx", "Deeper page tables: Sv39/Sv48/Sv57 reference counts", runExtSvx)
-	register("ext-hints", "Hot-region ioctl hints: data-page checks become free", runExtHints)
-	register("ext-deep", "3-level PMP Tables (reserved Mode values): entries vs refs", runExtDeep)
-	register("ext-epmp", "ePMP (64 entries): PMP-mode capacity and HPMP fast slots", runExtEPMP)
+	register(ExperimentSpec{
+		ID:       "ext-svx",
+		Title:    "Deeper page tables: Sv39/Sv48/Sv57 reference counts",
+		Figure:   "extension (§2.1 walk depth)",
+		Counters: []string{"cpu.", "mmu.", "mem."},
+		Cost:     CostLight,
+		Run:      runExtSvx,
+	})
+	register(ExperimentSpec{
+		ID:       "ext-hints",
+		Title:    "Hot-region ioctl hints: data-page checks become free",
+		Figure:   "extension (§4.2 segment fast path)",
+		Counters: []string{"cpu.", "mmu.", "mem."},
+		Cost:     CostLight,
+		Run:      runExtHints,
+	})
+	register(ExperimentSpec{
+		ID:       "ext-deep",
+		Title:    "3-level PMP Tables (reserved Mode values): entries vs refs",
+		Figure:   "extension (§4.3 Mode field)",
+		Counters: []string{"cpu.", "mmu.", "mem."},
+		Cost:     CostLight,
+		Run:      runExtDeep,
+	})
+	register(ExperimentSpec{
+		ID:       "ext-epmp",
+		Title:    "ePMP (64 entries): PMP-mode capacity and HPMP fast slots",
+		Figure:   "extension (§4.3 ePMP)",
+		Counters: []string{"cpu.", "mmu.", "mem.", "monitor."},
+		Cost:     CostLight,
+		Run:      runExtEPMP,
+	})
 }
 
 // runExtEPMP models §4.3's forward-looking claim: "future RISC-V

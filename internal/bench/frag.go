@@ -12,8 +12,22 @@ import (
 )
 
 func init() {
-	register("fig15", "Memory fragmentation (VA × PA layouts)", runFig15)
-	register("fig16", "Caching for the permission table (PMPTW-Cache)", runFig16)
+	register(ExperimentSpec{
+		ID:       "fig15",
+		Title:    "Memory fragmentation (VA × PA layouts)",
+		Figure:   "Fig. 15",
+		Counters: []string{"cpu.", "mmu.", "mem."},
+		Cost:     CostMedium,
+		Run:      runFig15,
+	})
+	register(ExperimentSpec{
+		ID:       "fig16",
+		Title:    "Caching for the permission table (PMPTW-Cache)",
+		Figure:   "Fig. 16",
+		Counters: []string{"cpu.", "mmu.", "mem.", "pmptw."},
+		Cost:     CostMedium,
+		Run:      runFig16,
+	})
 }
 
 // fragProbe measures the total latency of touching nPages pages under a

@@ -8,7 +8,15 @@ import (
 )
 
 func init() {
-	register("table4", "Hardware resource costs of the top module", runTable4)
+	register(ExperimentSpec{
+		ID:     "table4",
+		Title:  "Hardware resource costs of the top module",
+		Figure: "Table 4",
+		// Analytical model: boots no simulated system, so the counter
+		// snapshot is intentionally empty.
+		Cost: CostLight,
+		Run:  runTable4,
+	})
 }
 
 func runTable4(cfg Config) (*Result, error) {

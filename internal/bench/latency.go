@@ -11,8 +11,22 @@ import (
 )
 
 func init() {
-	register("fig10", "Memory access latency (ld/sd, TC1–TC4, Rocket+BOOM)", runFig10)
-	register("fig3a", "Preview: single-ld latency, Table vs Segment (BOOM)", runFig3a)
+	register(ExperimentSpec{
+		ID:       "fig10",
+		Title:    "Memory access latency (ld/sd, TC1–TC4, Rocket+BOOM)",
+		Figure:   "Fig. 10",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel.", "monitor."},
+		Cost:     CostLight,
+		Run:      runFig10,
+	})
+	register(ExperimentSpec{
+		ID:       "fig3a",
+		Title:    "Preview: single-ld latency, Table vs Segment (BOOM)",
+		Figure:   "Fig. 3-a",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel.", "monitor."},
+		Cost:     CostLight,
+		Run:      runFig3a,
+	})
 }
 
 // TestCase is one Table 2 state recipe.

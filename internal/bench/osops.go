@@ -11,7 +11,14 @@ import (
 )
 
 func init() {
-	register("table3", "Costs of OS operations (LMBench, BOOM)", runTable3)
+	register(ExperimentSpec{
+		ID:       "table3",
+		Title:    "Costs of OS operations (LMBench, BOOM)",
+		Figure:   "Table 3",
+		Counters: []string{"cpu.", "mmu.", "mem."},
+		Cost:     CostMedium,
+		Run:      runTable3,
+	})
 }
 
 // lmbenchOp is one Table 3 row.

@@ -10,8 +10,22 @@ import (
 )
 
 func init() {
-	register("fig12de", "Redis benchmark RPS (Rocket + BOOM)", runFig12de)
-	register("fig3d", "Preview: Redis RPS, Table vs Segment (BOOM)", runFig3d)
+	register(ExperimentSpec{
+		ID:       "fig12de",
+		Title:    "Redis benchmark RPS (Rocket + BOOM)",
+		Figure:   "Fig. 12-d/e",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel.", "monitor."},
+		Cost:     CostHeavy,
+		Run:      runFig12de,
+	})
+	register(ExperimentSpec{
+		ID:       "fig3d",
+		Title:    "Preview: Redis RPS, Table vs Segment (BOOM)",
+		Figure:   "Fig. 3-d",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel.", "monitor."},
+		Cost:     CostMedium,
+		Run:      runFig3d,
+	})
 }
 
 // redisRequests picks the per-command request count.

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"hpmp/internal/obs"
 	"hpmp/internal/stats"
 )
 
@@ -48,6 +49,11 @@ type Outcome struct {
 	// Wall is the attempt's wall-clock duration (also copied into
 	// Result.Wall on success).
 	Wall time.Duration
+	// Trace is the experiment's event tracer, non-nil only when tracing was
+	// requested (RunOptions.TraceEvery > 0) and Status is StatusOK. A
+	// timed-out experiment's goroutine is abandoned, not stopped, and could
+	// still be emitting — so its tracer is never exposed.
+	Trace *obs.Tracer
 }
 
 // OK reports whether the attempt succeeded.
@@ -63,6 +69,16 @@ type RunOptions struct {
 	// simulator is not preemptible, so a timed-out experiment's goroutine
 	// is abandoned, not interrupted.
 	Timeout time.Duration
+	// TraceEvery enables event tracing when > 0: each experiment gets its
+	// own tracer sampling every TraceEvery-th translation event.
+	TraceEvery int
+	// TraceKeep is the per-experiment ring capacity; <= 0 means
+	// obs.DefaultRing. Ignored unless TraceEvery > 0.
+	TraceKeep int
+	// Progress, when non-nil, is called once per finished experiment in
+	// completion order (unlike emit, which waits for input order), with the
+	// number finished so far and the total. Calls are serialized.
+	Progress func(done, total int, o Outcome)
 }
 
 // RunAll executes the experiments on a worker pool and returns one Outcome
@@ -102,10 +118,24 @@ func RunAll(ctx context.Context, cfg Config, exps []Experiment, opts RunOptions,
 	}
 	close(jobs)
 
+	var progressMu sync.Mutex
+	finished := 0
+	report := func(o Outcome) {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		finished++
+		opts.Progress(finished, n, o)
+		progressMu.Unlock()
+	}
+
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range jobs {
-				outs[i] <- runOne(ctx, cfg, exps[i], opts.Timeout)
+				o := runOne(ctx, cfg, exps[i], opts)
+				report(o)
+				outs[i] <- o
 			}
 		}()
 	}
@@ -132,8 +162,9 @@ func (e *panicError) Error() string {
 }
 
 // runOne attempts a single experiment with panic recovery, an optional
-// timeout, and counter observation.
-func runOne(ctx context.Context, cfg Config, exp Experiment, timeout time.Duration) Outcome {
+// timeout, counter observation, and (when requested) event tracing.
+func runOne(ctx context.Context, cfg Config, exp Experiment, opts RunOptions) Outcome {
+	timeout := opts.Timeout
 	out := Outcome{Experiment: exp}
 	if err := ctx.Err(); err != nil {
 		out.Status = StatusCanceled
@@ -141,8 +172,11 @@ func runOne(ctx context.Context, cfg Config, exp Experiment, timeout time.Durati
 		return out
 	}
 
-	obs := &observer{}
-	cfg.obs = obs
+	ob := &observer{}
+	cfg.obs = ob
+	if opts.TraceEvery > 0 {
+		cfg.tracer = obs.NewTracer(opts.TraceKeep, opts.TraceEvery)
+	}
 
 	type reply struct {
 		res *Result
@@ -185,7 +219,8 @@ func runOne(ctx context.Context, cfg Config, exp Experiment, timeout time.Durati
 			out.Status = StatusOK
 			out.Result = r.res
 			r.res.Wall = out.Wall
-			obs.snapshot(&r.res.Counters)
+			ob.snapshot(&r.res.Counters)
+			out.Trace = cfg.tracer
 		}
 	case <-timer:
 		out.Wall = time.Since(start)
@@ -259,12 +294,35 @@ func Summary(outcomes []Outcome) *stats.Table {
 // boot systems in nondeterministic (map-ordered) sequences.
 func CountersCSV(res *Result) string {
 	t := stats.NewTable("", "counter", "value")
-	names := res.Counters.Names()
+	snap := res.Counters.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
 	sort.Strings(names)
 	for _, n := range names {
-		t.AddRow(n, fmt.Sprintf("%d", res.Counters.Get(n)))
+		t.AddRow(n, fmt.Sprintf("%d", snap[n]))
 	}
 	return t.CSV()
+}
+
+// MetricsFor builds one outcome's exportable metrics snapshot: the spec
+// identification, the merged counter snapshot with derived rates, wall
+// time, and the tracer summary when tracing was on. Works for failed
+// outcomes too — they export with an empty counter set and their status.
+func MetricsFor(o Outcome, quick bool) *obs.Metrics {
+	counters := map[string]uint64{}
+	if o.Result != nil {
+		counters = o.Result.Counters.Snapshot()
+	}
+	m := obs.NewMetrics(o.Experiment.ID, counters)
+	m.Title = o.Experiment.Title
+	m.Figure = o.Experiment.Figure
+	m.Status = string(o.Status)
+	m.Quick = quick
+	m.WallSeconds = o.Wall.Seconds()
+	m.SetTracer(o.Trace)
+	return m
 }
 
 func firstLine(s string) string {

@@ -11,10 +11,38 @@ import (
 )
 
 func init() {
-	register("fig12ab", "FunctionBench (Rocket + BOOM, normalized latency)", runFig12ab)
-	register("fig12c", "Serverless image-processing chain (image size sweep)", runFig12c)
-	register("fig17", "FunctionBench with 8- vs 32-entry PWC (Rocket)", runFig17)
-	register("fig3c", "Preview: serverless latency, Table vs Segment (BOOM)", runFig3c)
+	register(ExperimentSpec{
+		ID:       "fig12ab",
+		Title:    "FunctionBench (Rocket + BOOM, normalized latency)",
+		Figure:   "Fig. 12-a/b",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel."},
+		Cost:     CostHeavy,
+		Run:      runFig12ab,
+	})
+	register(ExperimentSpec{
+		ID:       "fig12c",
+		Title:    "Serverless image-processing chain (image size sweep)",
+		Figure:   "Fig. 12-c",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel.", "monitor."},
+		Cost:     CostMedium,
+		Run:      runFig12c,
+	})
+	register(ExperimentSpec{
+		ID:       "fig17",
+		Title:    "FunctionBench with 8- vs 32-entry PWC (Rocket)",
+		Figure:   "Fig. 17",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel.", "monitor.", "ptw."},
+		Cost:     CostHeavy,
+		Run:      runFig17,
+	})
+	register(ExperimentSpec{
+		ID:       "fig3c",
+		Title:    "Preview: serverless latency, Table vs Segment (BOOM)",
+		Figure:   "Fig. 3-c",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel.", "monitor."},
+		Cost:     CostMedium,
+		Run:      runFig3c,
+	})
 }
 
 func funcBenchForConfig(cfg Config) []workloads.Workload {

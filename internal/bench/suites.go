@@ -10,9 +10,30 @@ import (
 )
 
 func init() {
-	register("fig11a", "RV8 benchmark (Rocket, execution time)", runFig11a)
-	register("fig11bc", "GAP benchmark (Rocket + BOOM, normalized latency)", runFig11bc)
-	register("fig3b", "Preview: GAP latency, Table vs Segment (BOOM)", runFig3b)
+	register(ExperimentSpec{
+		ID:       "fig11a",
+		Title:    "RV8 benchmark (Rocket, execution time)",
+		Figure:   "Fig. 11-a",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel.", "monitor."},
+		Cost:     CostHeavy,
+		Run:      runFig11a,
+	})
+	register(ExperimentSpec{
+		ID:       "fig11bc",
+		Title:    "GAP benchmark (Rocket + BOOM, normalized latency)",
+		Figure:   "Fig. 11-b/c",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel.", "monitor."},
+		Cost:     CostHeavy,
+		Run:      runFig11bc,
+	})
+	register(ExperimentSpec{
+		ID:       "fig3b",
+		Title:    "Preview: GAP latency, Table vs Segment (BOOM)",
+		Figure:   "Fig. 3-b",
+		Counters: []string{"cpu.", "mmu.", "mem.", "kernel.", "monitor."},
+		Cost:     CostMedium,
+		Run:      runFig3b,
+	})
 }
 
 // runSuite executes each workload in a fresh long-lived process on each

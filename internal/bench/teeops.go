@@ -11,9 +11,30 @@ import (
 )
 
 func init() {
-	register("fig14a", "Domain switch cost vs domain count", runFig14a)
-	register("fig14bc", "Physical-memory region allocation/release", runFig14bc)
-	register("fig14d", "Region allocation with different sizes", runFig14d)
+	register(ExperimentSpec{
+		ID:       "fig14a",
+		Title:    "Domain switch cost vs domain count",
+		Figure:   "Fig. 14-a",
+		Counters: []string{"monitor."},
+		Cost:     CostLight,
+		Run:      runFig14a,
+	})
+	register(ExperimentSpec{
+		ID:       "fig14bc",
+		Title:    "Physical-memory region allocation/release",
+		Figure:   "Fig. 14-b/c",
+		Counters: []string{"monitor."},
+		Cost:     CostLight,
+		Run:      runFig14bc,
+	})
+	register(ExperimentSpec{
+		ID:       "fig14d",
+		Title:    "Region allocation with different sizes",
+		Figure:   "Fig. 14-d",
+		Counters: []string{"monitor."},
+		Cost:     CostLight,
+		Run:      runFig14d,
+	})
 }
 
 // bootMon boots a bare monitor (no kernel) for TEE-operation timing.

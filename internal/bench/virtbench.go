@@ -13,7 +13,14 @@ import (
 )
 
 func init() {
-	register("fig13", "Memory access latency in a virtualized environment (Rocket)", runFig13)
+	register(ExperimentSpec{
+		ID:       "fig13",
+		Title:    "Memory access latency in a virtualized environment (Rocket)",
+		Figure:   "Fig. 13",
+		Counters: []string{"cpu.", "mmu.", "mem."},
+		Cost:     CostLight,
+		Run:      runFig13,
+	})
 }
 
 // virtMethod labels the four Fig. 13 configurations.

@@ -7,6 +7,7 @@ import (
 	"hpmp/internal/hpmp"
 	"hpmp/internal/memport"
 	"hpmp/internal/mmu"
+	"hpmp/internal/obs"
 	"hpmp/internal/phys"
 	"hpmp/internal/pmpt"
 )
@@ -124,6 +125,23 @@ func NewMachine(plat Platform, memSize uint64) *Machine {
 		MMU:        m,
 		Core:       core,
 		PMPTWCache: wcache,
+	}
+}
+
+// SetTracer attaches (or, with nil, detaches) an observability tracer to
+// every translation-path hook of the machine: the MMU's per-access events,
+// the page-table walker's PTE fetches, and — when the machine has an HPMP
+// checker — its permission checks and pmpte fetches. The tracer follows the
+// stats ownership model: it may only be read after the goroutine driving
+// the machine has finished.
+func (m *Machine) SetTracer(t *obs.Tracer) {
+	m.MMU.Trace = t
+	m.MMU.Walker.Trace = t
+	if c, ok := m.MMU.HPMPChecker(); ok {
+		c.Trace = t
+		if c.Walker != nil {
+			c.Walker.Trace = t
+		}
 	}
 }
 

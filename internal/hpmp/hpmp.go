@@ -21,6 +21,7 @@ import (
 
 	"hpmp/internal/addr"
 	"hpmp/internal/fastpath"
+	"hpmp/internal/obs"
 	"hpmp/internal/perm"
 	"hpmp/internal/pmp"
 	"hpmp/internal/pmpt"
@@ -32,6 +33,11 @@ import (
 type Checker struct {
 	PMP    *pmp.Unit
 	Walker *pmpt.Walker
+
+	// Trace, when set, receives one obs.KindCheck event per permission
+	// check (matching entry, verdict, table-walk cost). Nil costs one
+	// pointer compare per check.
+	Trace *obs.Tracer
 
 	// Hot-path counter handles, resolved once at construction.
 	hDenyNoMatch, hDenyStraddle, hSegmentCheck, hTableCheck *uint64
@@ -153,6 +159,27 @@ type Result struct {
 // Check validates an access of `size` bytes at pa from privilege `priv`,
 // issuing any permission-table references at core-cycle `now`.
 func (c *Checker) Check(pa addr.PA, size uint64, k perm.Access, priv perm.Priv, now uint64) (Result, error) {
+	res, err := c.checkInner(pa, size, k, priv, now)
+	if err == nil && c.Trace != nil {
+		ev := obs.Event{
+			Kind:    obs.KindCheck,
+			Access:  k,
+			PA:      pa,
+			Level:   int8(res.Entry),
+			Hit:     res.Allowed,
+			Refs:    uint16(res.MemRefs),
+			ChkRefs: uint16(res.MemRefs),
+			Cycles:  res.Latency,
+		}
+		if !res.Allowed {
+			ev.Fault = obs.FaultAccess
+		}
+		c.Trace.Emit(ev)
+	}
+	return res, err
+}
+
+func (c *Checker) checkInner(pa addr.PA, size uint64, k perm.Access, priv perm.Priv, now uint64) (Result, error) {
 	i := c.PMP.Match(pa, size)
 	if i < 0 {
 		if priv == perm.M && c.PMP.MModeDefaultAllow {

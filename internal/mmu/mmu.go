@@ -18,6 +18,7 @@ import (
 	"hpmp/internal/fastpath"
 	"hpmp/internal/hpmp"
 	"hpmp/internal/memport"
+	"hpmp/internal/obs"
 	"hpmp/internal/perm"
 	"hpmp/internal/phys"
 	"hpmp/internal/ptw"
@@ -72,6 +73,11 @@ type MMU struct {
 	// Observer, when set, sees every completed Access (tracing,
 	// statistics). It must not re-enter the MMU.
 	Observer func(va addr.VA, k perm.Access, res Result)
+
+	// Trace, when set, receives one obs.KindAccess event per completed
+	// access. Nil (the default) is the disabled state and costs one pointer
+	// compare per access — the hot-path zero-alloc pins cover it.
+	Trace *obs.Tracer
 
 	// Hot-path counter handles, resolved once in New. hData is indexed by
 	// cache.Level, replacing the per-access "mmu.data_"+HitLevel string
@@ -185,10 +191,49 @@ func (r Result) Faulted() bool { return r.PageFault || r.ProtFault || r.AccessFa
 // itself is performed through the cache hierarchy.
 func (m *MMU) Access(va addr.VA, k perm.Access, priv perm.Priv, now uint64) (Result, error) {
 	res, err := m.accessInner(va, k, priv, now)
-	if err == nil && m.Observer != nil {
-		m.Observer(va, k, res)
+	if err == nil {
+		if m.Trace != nil {
+			m.Trace.Emit(AccessEvent(va, k, res))
+		}
+		if m.Observer != nil {
+			m.Observer(va, k, res)
+		}
 	}
 	return res, err
+}
+
+// AccessEvent maps a completed access onto the shared trace record. The MMU
+// calls it only with a tracer attached, so its cost never reaches the
+// disabled hot path; internal/trace reuses it so every consumer agrees on
+// the Result → Event mapping.
+func AccessEvent(va addr.VA, k perm.Access, res Result) obs.Event {
+	ev := obs.Event{
+		Kind:    obs.KindAccess,
+		Access:  k,
+		VA:      va,
+		PA:      res.PA,
+		Level:   -1,
+		Refs:    uint16(res.TotalRefs()),
+		ChkRefs: uint16(res.Walk.PTCheckRefs + res.DataCheckRefs),
+		Cycles:  res.Latency,
+	}
+	switch res.TLBHit {
+	case "L1":
+		ev.TLB = obs.TLBL1
+	case "L2":
+		ev.TLB = obs.TLBL2
+	default:
+		ev.TLB = obs.TLBMiss
+	}
+	switch {
+	case res.PageFault:
+		ev.Fault = obs.FaultPage
+	case res.ProtFault:
+		ev.Fault = obs.FaultProt
+	case res.AccessFault:
+		ev.Fault = obs.FaultAccess
+	}
+	return ev
 }
 
 func (m *MMU) accessInner(va addr.VA, k perm.Access, priv perm.Priv, now uint64) (Result, error) {

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/perm"
+)
+
+// TraceSchema names the trace-file format version. The first line of a
+// trace file is a Header with this schema string; every following line is
+// one Event. Both cmd/hpmpsim (writer) and cmd/hpmptrace (writer + reader)
+// go through WriteTrace/ReadTrace, so the two tools cannot drift.
+const TraceSchema = "hpmp-trace/v1"
+
+// Header is the first line of a trace file.
+type Header struct {
+	Schema string `json:"schema"`
+	// Experiment or workload the trace came from.
+	Source string `json:"source"`
+	// SampleEvery is the sampling stride (1 = every event).
+	SampleEvery int `json:"sample_every"`
+	// Ring is the tracer's retention capacity.
+	Ring int `json:"ring"`
+	// Seen/Sampled/Kept mirror the tracer's counters, so a reader can tell
+	// how much of the run the retained window covers.
+	Seen    uint64 `json:"seen"`
+	Sampled uint64 `json:"sampled"`
+	Kept    int    `json:"kept"`
+}
+
+// eventJSON is the wire form of Event: enums as their String names and
+// addresses as hex strings, so traces are greppable as text.
+type eventJSON struct {
+	Seq     uint64 `json:"seq"`
+	Kind    string `json:"kind"`
+	Access  string `json:"access"`
+	TLB     string `json:"tlb,omitempty"`
+	Level   int8   `json:"level"`
+	Hit     bool   `json:"hit"`
+	Fault   string `json:"fault,omitempty"`
+	VA      string `json:"va"`
+	PA      string `json:"pa"`
+	Refs    uint16 `json:"refs"`
+	ChkRefs uint16 `json:"chk_refs"`
+	Cycles  uint64 `json:"cycles"`
+}
+
+func toJSON(ev Event) eventJSON {
+	return eventJSON{
+		Seq:     ev.Seq,
+		Kind:    ev.Kind.String(),
+		Access:  ev.Access.String(),
+		TLB:     ev.TLB.String(),
+		Level:   ev.Level,
+		Hit:     ev.Hit,
+		Fault:   ev.Fault.String(),
+		VA:      fmt.Sprintf("%#x", uint64(ev.VA)),
+		PA:      fmt.Sprintf("%#x", uint64(ev.PA)),
+		Refs:    ev.Refs,
+		ChkRefs: ev.ChkRefs,
+		Cycles:  ev.Cycles,
+	}
+}
+
+func fromJSON(ej eventJSON) (Event, error) {
+	kind, ok := KindFromString(ej.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown event kind %q", ej.Kind)
+	}
+	tlb, ok := TLBPathFromString(ej.TLB)
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown tlb path %q", ej.TLB)
+	}
+	fault, ok := FaultFromString(ej.Fault)
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown fault kind %q", ej.Fault)
+	}
+	var access perm.Access
+	switch ej.Access {
+	case perm.Read.String():
+		access = perm.Read
+	case perm.Write.String():
+		access = perm.Write
+	case perm.Fetch.String():
+		access = perm.Fetch
+	default:
+		return Event{}, fmt.Errorf("obs: unknown access kind %q", ej.Access)
+	}
+	va, err := strconv.ParseUint(ej.VA, 0, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("obs: bad va %q: %w", ej.VA, err)
+	}
+	pa, err := strconv.ParseUint(ej.PA, 0, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("obs: bad pa %q: %w", ej.PA, err)
+	}
+	return Event{
+		Seq:     ej.Seq,
+		Kind:    kind,
+		Access:  access,
+		TLB:     tlb,
+		Level:   ej.Level,
+		Hit:     ej.Hit,
+		Fault:   fault,
+		VA:      addr.VA(va),
+		PA:      addr.PA(pa),
+		Refs:    ej.Refs,
+		ChkRefs: ej.ChkRefs,
+		Cycles:  ej.Cycles,
+	}, nil
+}
+
+// WriteTrace serializes a tracer's retained events as JSON lines: the
+// header first, then one event per line, oldest first.
+func WriteTrace(w io.Writer, source string, t *Tracer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	h := Header{
+		Schema:      TraceSchema,
+		Source:      source,
+		SampleEvery: t.SampleEvery(),
+		Ring:        len(t.ring),
+		Seen:        t.Seen(),
+		Sampled:     t.Sampled(),
+		Kept:        t.Kept(),
+	}
+	if err := enc.Encode(h); err != nil {
+		return err
+	}
+	for _, ev := range t.Events() {
+		if err := enc.Encode(toJSON(ev)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace file written by WriteTrace.
+func ReadTrace(r io.Reader) (Header, []Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Header{}, nil, err
+		}
+		return Header{}, nil, fmt.Errorf("obs: empty trace file")
+	}
+	var h Header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return Header{}, nil, fmt.Errorf("obs: bad trace header: %w", err)
+	}
+	if h.Schema != TraceSchema {
+		return Header{}, nil, fmt.Errorf("obs: trace schema %q, want %q", h.Schema, TraceSchema)
+	}
+	var events []Event
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(strings.TrimSpace(string(sc.Bytes()))) == 0 {
+			continue
+		}
+		var ej eventJSON
+		if err := json.Unmarshal(sc.Bytes(), &ej); err != nil {
+			return Header{}, nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		ev, err := fromJSON(ej)
+		if err != nil {
+			return Header{}, nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return Header{}, nil, err
+	}
+	return h, events, nil
+}
+
+// FormatEvent renders one event as a human-readable line — the pretty form
+// cmd/hpmptrace prints for a decoded trace.
+func FormatEvent(ev Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8d  %-10s", ev.Seq, ev.Kind)
+	switch ev.Kind {
+	case KindAccess:
+		fmt.Fprintf(&b, " %-5s va=%#011x pa=%#011x tlb=%-4s", ev.Access, uint64(ev.VA), uint64(ev.PA), ev.TLB)
+		if ev.Fault != FaultNone {
+			fmt.Fprintf(&b, " FAULT=%s", ev.Fault)
+		}
+	case KindPTEFetch:
+		hit := "miss"
+		if ev.Hit {
+			hit = "hit"
+		}
+		fmt.Fprintf(&b, " level=%d pte=%#011x pwc=%-4s", ev.Level, uint64(ev.PA), hit)
+	case KindPMPTFetch:
+		hit := "miss"
+		if ev.Hit {
+			hit = "hit"
+		}
+		fmt.Fprintf(&b, " pmpte=%#011x cache=%-4s", uint64(ev.PA), hit)
+	case KindCheck:
+		verdict := "deny"
+		if ev.Hit {
+			verdict = "allow"
+		}
+		fmt.Fprintf(&b, " %-5s pa=%#011x entry=%d %s", ev.Access, uint64(ev.PA), ev.Level, verdict)
+	}
+	fmt.Fprintf(&b, " refs=%d chk=%d cycles=%d", ev.Refs, ev.ChkRefs, ev.Cycles)
+	return b.String()
+}

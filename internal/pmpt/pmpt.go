@@ -23,6 +23,7 @@ import (
 	"hpmp/internal/addr"
 	"hpmp/internal/fastpath"
 	"hpmp/internal/memport"
+	"hpmp/internal/obs"
 	"hpmp/internal/perm"
 	"hpmp/internal/phys"
 	"hpmp/internal/stats"
@@ -415,6 +416,11 @@ type Walker struct {
 	Port  memport.Port
 	Cache *WalkerCache
 
+	// Trace, when set, receives one obs.KindPMPTFetch event per pmpte
+	// lookup (cache outcome, fetch cost). Nil costs one pointer compare per
+	// lookup — the cache-hit zero-alloc pin covers it.
+	Trace *obs.Tracer
+
 	// hh holds pre-resolved counter handles. Walkers are built with struct
 	// literals throughout the tree, so resolution is lazy (first walk)
 	// rather than constructor-time.
@@ -496,6 +502,9 @@ func (w *Walker) fetch(pa addr.PA, now uint64, res *WalkResult) (uint64, error) 
 		if v, ok := w.Cache.Lookup(pa); ok {
 			res.Hits++
 			w.bump(w.handles().cacheHit, "pmptw.cache_hit")
+			if w.Trace != nil {
+				w.Trace.Emit(obs.Event{Kind: obs.KindPMPTFetch, Access: perm.Read, PA: pa, Level: -1, Hit: true})
+			}
 			return v, nil
 		}
 	}
@@ -506,6 +515,9 @@ func (w *Walker) fetch(pa addr.PA, now uint64, res *WalkResult) (uint64, error) 
 	res.Latency += lat
 	res.MemRefs++
 	w.bump(w.handles().memRef, "pmptw.mem_ref")
+	if w.Trace != nil {
+		w.Trace.Emit(obs.Event{Kind: obs.KindPMPTFetch, Access: perm.Read, PA: pa, Level: -1, Refs: 1, ChkRefs: 1, Cycles: lat})
+	}
 	if w.Cache != nil && w.Cache.Enabled {
 		w.Cache.Insert(pa, v)
 	}

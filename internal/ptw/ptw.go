@@ -14,6 +14,7 @@ import (
 	"hpmp/internal/fastpath"
 	"hpmp/internal/hpmp"
 	"hpmp/internal/memport"
+	"hpmp/internal/obs"
 	"hpmp/internal/perm"
 	"hpmp/internal/pt"
 	"hpmp/internal/stats"
@@ -51,6 +52,11 @@ type Walker struct {
 	// Page tables are kernel data structures, so S.
 	Priv perm.Priv
 
+	// Trace, when set, receives one obs.KindPTEFetch event per PTE lookup
+	// (walk level, PWC outcome, fetch cost). Nil costs one pointer compare
+	// per level — the PWC-hit zero-alloc pin covers it.
+	Trace *obs.Tracer
+
 	// Hot-path counter handles, resolved once in New.
 	hPWCHit, hPTEFetch, hWalkOK, hPageFault, hAccessFault *uint64
 
@@ -82,9 +88,59 @@ func (w *Walker) bump(h *uint64, name string) {
 	}
 }
 
+// traceFetch emits one KindPTEFetch event. It lives outside Walk so the
+// event construction never competes for registers with the untraced hot
+// loop; the prev* values are the counters captured before the fetch, so
+// the event carries per-fetch deltas.
+func (w *Walker) traceFetch(va addr.VA, pteAddr addr.PA, level int, hit bool, res *Result, prevLat uint64, prevPT, prevChk int) {
+	ev := obs.Event{
+		Kind:    obs.KindPTEFetch,
+		Access:  perm.Read,
+		VA:      va,
+		PA:      pteAddr,
+		Level:   int8(level),
+		Hit:     hit,
+		Refs:    uint16(res.PTRefs - prevPT + res.PTCheckRefs - prevChk),
+		ChkRefs: uint16(res.PTCheckRefs - prevChk),
+		Cycles:  res.Latency - prevLat,
+	}
+	if res.AccessFault {
+		ev.Fault = obs.FaultAccess
+	}
+	w.Trace.Emit(ev)
+}
+
+// leafTranslation maps a leaf PTE at the given level onto the translated
+// address; superpage leaves align the frame to the superpage boundary.
+func leafTranslation(e pt.PTE, va addr.VA, level int) pt.Translation {
+	if level != 0 {
+		span := uint64(1) << (addr.PageShift + 9*level)
+		frameBase := uint64(e.Target()) &^ (span - 1)
+		off := uint64(va) & (span - 1) &^ uint64(addr.PageMask)
+		return pt.Translation{
+			PA:   addr.PA(frameBase+off) + addr.PA(va.Offset()),
+			Perm: e.Perm(),
+			User: e.User(),
+		}
+	}
+	return pt.Translation{
+		PA:   e.Target() + addr.PA(va.Offset()),
+		Perm: e.Perm(),
+		User: e.User(),
+	}
+}
+
 // Walk translates va starting from the page table rooted at root, issuing
 // memory references at core-cycle now.
+//
+// Tracing dispatches to a separate variant up front rather than branching
+// inside the loop: the untraced walk is the simulator's second-hottest
+// path (behind the L1 TLB hit) and its loop body must not carry tracing
+// spill code. BenchmarkPTWWalkPWCHit pins the budget.
 func (w *Walker) Walk(root addr.PA, va addr.VA, now uint64) (Result, error) {
+	if w.Trace != nil {
+		return w.walkTraced(root, va, now)
+	}
 	var res Result
 	if !w.Mode.Canonical(va) {
 		res.PageFault = true
@@ -112,23 +168,57 @@ func (w *Walker) Walk(root addr.PA, va addr.VA, now uint64) (Result, error) {
 			return res, nil
 		}
 		if e.Leaf() {
-			if level != 0 {
-				// Superpage: align the frame to the superpage boundary.
-				span := uint64(1) << (addr.PageShift + 9*level)
-				frameBase := uint64(e.Target()) &^ (span - 1)
-				off := uint64(va) & (span - 1) &^ uint64(addr.PageMask)
-				res.Translation = pt.Translation{
-					PA:   addr.PA(frameBase+off) + addr.PA(va.Offset()),
-					Perm: e.Perm(),
-					User: e.User(),
-				}
-			} else {
-				res.Translation = pt.Translation{
-					PA:   e.Target() + addr.PA(va.Offset()),
-					Perm: e.Perm(),
-					User: e.User(),
-				}
-			}
+			res.Translation = leafTranslation(e, va, level)
+			w.bump(w.hWalkOK, "ptw.walk_ok")
+			return res, nil
+		}
+		if level == 0 {
+			// A pointer entry where only leaves are legal: malformed table.
+			res.PageFault = true
+			res.FaultLevel = 0
+			w.bump(w.hPageFault, "ptw.page_fault")
+			return res, nil
+		}
+		base = e.Target()
+	}
+	return res, fmt.Errorf("ptw: walk fell through for %v", va)
+}
+
+// walkTraced is Walk with a KindPTEFetch event emitted per PTE lookup. It
+// must stay step-for-step identical to the untraced loop — the golden
+// trace and differential tests gate that — and exists only so the
+// disabled-tracing walk pays a single pointer compare at entry.
+func (w *Walker) walkTraced(root addr.PA, va addr.VA, now uint64) (Result, error) {
+	var res Result
+	if !w.Mode.Canonical(va) {
+		res.PageFault = true
+		res.FaultLevel = w.Mode.Levels() - 1
+		w.bump(w.hPageFault, "ptw.page_fault")
+		return res, nil
+	}
+	base := root
+	for level := w.Mode.Levels() - 1; level >= 0; level-- {
+		pteAddr := base + addr.PA(w.Mode.VPN(va, level)*8)
+		prevLat, prevPT, prevChk := res.Latency, res.PTRefs, res.PTCheckRefs
+		raw, hit, err := w.fetchPTE(pteAddr, now, &res)
+		if err != nil {
+			return res, err
+		}
+		w.traceFetch(va, pteAddr, level, hit, &res, prevLat, prevPT, prevChk)
+		if !hit && res.AccessFault {
+			res.FaultLevel = level
+			w.bump(w.hAccessFault, "ptw.access_fault")
+			return res, nil
+		}
+		e := pt.PTE(raw)
+		if !e.Valid() {
+			res.PageFault = true
+			res.FaultLevel = level
+			w.bump(w.hPageFault, "ptw.page_fault")
+			return res, nil
+		}
+		if e.Leaf() {
+			res.Translation = leafTranslation(e, va, level)
 			w.bump(w.hWalkOK, "ptw.walk_ok")
 			return res, nil
 		}

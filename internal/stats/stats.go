@@ -56,7 +56,10 @@ func (c *Counters) Add(name string, n uint64) { *c.Handle(name) += n }
 // Inc increments the named counter by one.
 func (c *Counters) Inc(name string) { *c.Handle(name)++ }
 
-// Get returns the counter's value (zero if it was never touched).
+// Get returns the counter's value (zero if it was never touched). It is a
+// cold-path lookup: it pays a map access per call, so readers that walk the
+// whole set should use Visit or Snapshot, and per-access hot paths must use
+// Handle.
 func (c *Counters) Get(name string) uint64 {
 	if p, ok := c.vals[name]; ok {
 		return *p
@@ -68,6 +71,26 @@ func (c *Counters) Get(name string) uint64 {
 func (c *Counters) Names() []string {
 	out := make([]string, len(c.order))
 	copy(out, c.order)
+	return out
+}
+
+// Visit calls fn for every counter in first-use order. It is the ordered
+// bulk-read primitive: renderers that need a different order sort the
+// snapshot instead.
+func (c *Counters) Visit(fn func(name string, value uint64)) {
+	for _, name := range c.order {
+		fn(name, *c.vals[name])
+	}
+}
+
+// Snapshot copies every counter into a fresh map. The map is independent of
+// the live counters, so it can cross goroutines freely — the export path
+// (metrics JSON, Prometheus text) is built on it.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.order))
+	for _, name := range c.order {
+		out[name] = *c.vals[name]
+	}
 	return out
 }
 

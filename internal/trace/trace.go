@@ -3,6 +3,10 @@
 // references it cost by category, and its latency. A bounded ring keeps
 // the most recent events while running summaries cover the whole run —
 // the observability layer behind cmd/hpmptrace.
+//
+// The event record is internal/obs.Event, the same structure the
+// simulator's inline tracing hooks emit and the JSONL trace files carry,
+// so cmd/hpmptrace and cmd/hpmpsim artifacts are read by the same tools.
 package trace
 
 import (
@@ -11,22 +15,15 @@ import (
 
 	"hpmp/internal/addr"
 	"hpmp/internal/mmu"
+	"hpmp/internal/obs"
 	"hpmp/internal/perm"
 	"hpmp/internal/stats"
 )
 
-// Event is one recorded access.
-type Event struct {
-	Seq     uint64
-	VA      addr.VA
-	PA      addr.PA
-	Kind    perm.Access
-	TLBHit  string // "L1", "L2", "miss"
-	PTRefs  int
-	ChkRefs int // PT-page + data permission-table references
-	Latency uint64
-	Faulted bool
-}
+// Event is the shared trace record (see internal/obs). The recorder emits
+// KindAccess events only: one per completed MMU access, never the
+// intermediate PTE/PMPT fetches.
+type Event = obs.Event
 
 // Recorder accumulates events and summaries. Attach it to an MMU with
 // Attach; the zero value is not usable — call New.
@@ -65,17 +62,8 @@ func (r *Recorder) Attach(m *mmu.MMU) func() {
 
 // Record ingests one MMU result.
 func (r *Recorder) Record(va addr.VA, k perm.Access, res mmu.Result) {
-	ev := Event{
-		Seq:     r.total,
-		VA:      va,
-		PA:      res.PA,
-		Kind:    k,
-		TLBHit:  res.TLBHit,
-		PTRefs:  res.Walk.PTRefs,
-		ChkRefs: res.Walk.PTCheckRefs + res.DataCheckRefs,
-		Latency: res.Latency,
-		Faulted: res.Faulted(),
-	}
+	ev := mmu.AccessEvent(va, k, res)
+	ev.Seq = r.total
 	r.total++
 	if len(r.ring) < cap(r.ring) {
 		r.ring = append(r.ring, ev)
@@ -86,15 +74,13 @@ func (r *Recorder) Record(va addr.VA, k perm.Access, res mmu.Result) {
 	r.latHist.Observe(res.Latency)
 	// Constant counter names per TLB outcome: recording must not allocate
 	// per observed access (the recorder rides the MMU's hot path).
-	switch res.TLBHit {
-	case "L1":
+	switch ev.TLB {
+	case obs.TLBL1:
 		r.Counters.Inc("trace.tlb_L1")
-	case "L2":
+	case obs.TLBL2:
 		r.Counters.Inc("trace.tlb_L2")
-	case "miss":
-		r.Counters.Inc("trace.tlb_miss")
 	default:
-		r.Counters.Inc("trace.tlb_" + res.TLBHit)
+		r.Counters.Inc("trace.tlb_miss")
 	}
 	r.Counters.Add("trace.pt_refs", uint64(res.Walk.PTRefs))
 	r.Counters.Add("trace.chk_refs", uint64(res.Walk.PTCheckRefs+res.DataCheckRefs))
@@ -125,6 +111,16 @@ func (r *Recorder) Events() []Event {
 	return append(out, r.ring[:r.next]...)
 }
 
+// Tracer replays the retained ring into an unsampled obs.Tracer so the
+// recorder can be exported as a JSONL trace file via obs.WriteTrace.
+func (r *Recorder) Tracer() *obs.Tracer {
+	t := obs.NewTracer(cap(r.ring), 1)
+	for _, ev := range r.Events() {
+		t.Emit(ev)
+	}
+	return t
+}
+
 // Summary renders the aggregate statistics.
 func (r *Recorder) Summary() string {
 	var b strings.Builder
@@ -152,11 +148,11 @@ func (r *Recorder) Summary() string {
 // CSV renders the retained events.
 func (r *Recorder) CSV() string {
 	var b strings.Builder
-	b.WriteString("seq,va,pa,kind,tlb,pt_refs,chk_refs,latency,faulted\n")
+	b.WriteString("seq,va,pa,access,tlb,refs,chk_refs,cycles,fault\n")
 	for _, ev := range r.Events() {
 		fmt.Fprintf(&b, "%d,%#x,%#x,%s,%s,%d,%d,%d,%v\n",
-			ev.Seq, uint64(ev.VA), uint64(ev.PA), ev.Kind, ev.TLBHit,
-			ev.PTRefs, ev.ChkRefs, ev.Latency, ev.Faulted)
+			ev.Seq, uint64(ev.VA), uint64(ev.PA), ev.Access, ev.TLB,
+			ev.Refs, ev.ChkRefs, ev.Cycles, ev.Fault != obs.FaultNone)
 	}
 	return b.String()
 }

@@ -8,6 +8,7 @@ import (
 	"hpmp/internal/cpu"
 	"hpmp/internal/kernel"
 	"hpmp/internal/monitor"
+	"hpmp/internal/obs"
 	"hpmp/internal/perm"
 )
 
@@ -49,7 +50,7 @@ func TestRecordThroughMMU(t *testing.T) {
 	}
 	evs := r.Events()
 	last := evs[len(evs)-1]
-	if last.Kind != perm.Read || last.TLBHit != "L1" {
+	if last.Kind != obs.KindAccess || last.Access != perm.Read || last.TLB != obs.TLBL1 {
 		t.Errorf("last event should be the warm read: %+v", last)
 	}
 	if r.Counters.Get("trace.reads") == 0 || r.Counters.Get("trace.writes") == 0 {
@@ -90,7 +91,7 @@ func TestSummaryAndCSV(t *testing.T) {
 		}
 	}
 	csv := r.CSV()
-	if !strings.HasPrefix(csv, "seq,va,pa,kind,tlb,") {
+	if !strings.HasPrefix(csv, "seq,va,pa,access,tlb,") {
 		t.Errorf("CSV header wrong: %q", csv[:40])
 	}
 	if strings.Count(csv, "\n") < 3 {
