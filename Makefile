@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race smoke obs-smoke fuzz bench eval eval-quick examples clean
+.PHONY: all build vet test test-short race smoke obs-smoke fuzz bench eval eval-quick examples metrics-baseline metrics-diff clean
 
 all: build vet test race smoke fuzz
 
@@ -40,9 +40,29 @@ obs-smoke:
 
 # Short fuzz pass over the register-format round trips and the PMPTW
 # walker-vs-oracle cross-check (go test -fuzz takes one target at a time).
+# The weekly fuzz workflow overrides FUZZTIME for a longer soak.
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test ./internal/pmp -run '^$$' -fuzz FuzzPMPEncodeDecode -fuzztime 30s
-	$(GO) test ./internal/pmpt -run '^$$' -fuzz FuzzPMPTWalk -fuzztime 30s
+	$(GO) test ./internal/pmp -run '^$$' -fuzz FuzzPMPEncodeDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pmpt -run '^$$' -fuzz FuzzPMPTWalk -fuzztime $(FUZZTIME)
+
+# Refresh the committed cross-commit metrics baseline (quick sizes, JSON
+# only — the Prometheus text is derived output). Run this when an
+# intentional behaviour change shifts counters or latency histograms, and
+# commit the result together with the change; TestMetricsMatchCommittedBaseline
+# and the CI metrics-diff job gate against it.
+METRICS_BASELINE := internal/integration/testdata/metrics_baseline
+metrics-baseline:
+	rm -rf $(METRICS_BASELINE)
+	$(GO) run ./cmd/hpmpsim -quick -metrics-dir $(METRICS_BASELINE) run all > /dev/null
+	rm -f $(METRICS_BASELINE)/*.prom
+
+# Diff a fresh quick run against the committed baseline, like CI does.
+metrics-diff:
+	rm -rf obs-out/metrics-current
+	$(GO) run ./cmd/hpmpsim -quick -metrics-dir obs-out/metrics-current run all > /dev/null
+	$(GO) run ./cmd/hpmpsim -diff-json obs-out/metrics-diff.json \
+		diff $(METRICS_BASELINE) obs-out/metrics-current
 
 # One testing.B target per paper table/figure (quick sizes).
 bench:

@@ -357,3 +357,57 @@ func TestPTWWalkPWCHitZeroAllocsWithTracer(t *testing.T) {
 		t.Error("tracer saw no events despite being attached")
 	}
 }
+
+// TestHPMPCheckSegmentZeroAllocs pins the checker's segment fast path with
+// the check-latency histogram attached: a T=0 match is a register compare
+// plus one in-place histogram bucket increment, and must not allocate.
+func TestHPMPCheckSegmentZeroAllocs(t *testing.T) {
+	checker := hpmp.New(&pmpt.Walker{Port: &memport.Flat{Mem: phys.New(64 * addr.MiB), Latency: 10}})
+	if err := checker.SetSegment(0, addr.Range{Base: 0, Size: 64 * addr.MiB}, perm.RWX, false); err != nil {
+		t.Fatal(err)
+	}
+	pa := addr.PA(0x10_0000)
+	if res, err := checker.Check(pa, 8, perm.Read, perm.U, 0); err != nil || !res.Allowed {
+		t.Fatalf("warm check failed: %+v %v", res, err)
+	}
+	now := uint64(1000)
+	allocs := testing.AllocsPerRun(1000, func() {
+		res, err := checker.Check(pa, 8, perm.Read, perm.U, now)
+		if err != nil || !res.Allowed {
+			t.Fatalf("%+v %v", res, err)
+		}
+		now++
+	})
+	if allocs != 0 {
+		t.Errorf("segment check allocates %.1f times per op, want 0", allocs)
+	}
+	if checker.Hist.Count() == 0 {
+		t.Error("check-latency histogram recorded nothing despite being attached")
+	}
+}
+
+// TestHotPathHistogramsRecord: after driving the four instrumented hot
+// paths, each unit's latency histogram carries the observations the metrics
+// snapshots will export — the end-to-end wiring the observability PR added.
+func TestHotPathHistogramsRecord(t *testing.T) {
+	m, va := benchRig(t)
+	for i := 0; i < 4; i++ {
+		if _, err := m.Access(va, perm.Read, perm.U, uint64(i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.LatHist.Count() == 0 {
+		t.Error("mmu.access_latency histogram is empty")
+	}
+	if m.Walker.Hist.Count() == 0 {
+		t.Error("ptw.walk_latency histogram is empty")
+	}
+
+	w, root, region, pa := pmptWalkRig(t)
+	if _, err := w.Walk(root, region, pa, 100); err != nil {
+		t.Fatal(err)
+	}
+	if w.Hist().Count() == 0 {
+		t.Error("pmptw.walk_latency histogram is empty")
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpmp/internal/obs"
+)
+
+// genQuickMetrics runs one quick experiment with -metrics-dir and returns
+// the directory, giving diff tests real CLI-produced snapshots.
+func genQuickMetrics(t *testing.T, dir string, ids ...string) {
+	t.Helper()
+	args := append([]string{"-quick", "-metrics-dir", dir, "run"}, ids...)
+	code, _, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("generating metrics exited %d: %s", code, stderr)
+	}
+}
+
+// TestDiffSelfIsClean: diffing a freshly generated quick metrics directory
+// against itself exits 0 with a PASS table — the determinism the committed
+// baseline relies on.
+func TestDiffSelfIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots simulated systems")
+	}
+	dir := filepath.Join(t.TempDir(), "m")
+	genQuickMetrics(t, dir, "fig10", "table4")
+	code, stdout, stderr := runCLI(t, "diff", dir, dir)
+	if code != 0 {
+		t.Fatalf("self-diff exited %d:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "PASS") || !strings.Contains(stdout, "2 experiments, 0 regressions") {
+		t.Errorf("self-diff table:\n%s", stdout)
+	}
+}
+
+// TestDiffDetectsPerturbedCounter: corrupting one counter in a copy of the
+// metrics makes diff exit 1, name the counter on stdout, and emit the JSON
+// verdict when asked.
+func TestDiffDetectsPerturbedCounter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots simulated systems")
+	}
+	base := filepath.Join(t.TempDir(), "base")
+	genQuickMetrics(t, base, "fig10")
+
+	// Perturb one counter in a copied snapshot.
+	raw, err := os.ReadFile(filepath.Join(base, "fig10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Metrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	var key string
+	for k := range m.Counters {
+		key = k
+		break
+	}
+	if key == "" {
+		t.Fatal("fig10 metrics carry no counters")
+	}
+	m.Counters[key]++
+	cur := t.TempDir()
+	pert, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cur, "fig10.json"), pert, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	verdict := filepath.Join(t.TempDir(), "verdict.json")
+	code, stdout, stderr := runCLI(t, "-diff-json", verdict, "diff", base, cur)
+	if code != 1 {
+		t.Fatalf("perturbed diff exited %d (want 1):\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "FAIL") || !strings.Contains(stdout, key) {
+		t.Errorf("diff table must name the drifted counter %q:\n%s", key, stdout)
+	}
+	vraw, err := os.ReadFile(verdict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.DiffReport
+	if err := json.Unmarshal(vraw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != obs.DiffSchema || rep.Regressions == 0 {
+		t.Errorf("JSON verdict: %+v", rep)
+	}
+}
+
+// TestDiffUsageErrors: wrong arity and unreadable directories are usage
+// errors (exit 2), distinct from the regression exit (1).
+func TestDiffUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "diff", "onlyone"); code != 2 {
+		t.Errorf("diff with one arg: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "diff", t.TempDir(), t.TempDir()); code != 2 {
+		t.Errorf("diff of empty dirs: exit %d, want 2", code)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hpmp/internal/bench"
 )
 
 // update rewrites the golden files instead of comparing against them:
@@ -37,6 +39,49 @@ func TestQuickRunAllGolden(t *testing.T) {
 		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
 			t.Fatal(err)
 		}
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(stdout))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if stdout == string(want) {
+		return
+	}
+	t.Errorf("stdout differs from %s (re-run with -update if the change is intended):\n%s",
+		golden, lineDiff(string(want), stdout))
+}
+
+// TestMediumRunGolden pins the full-size stdout of every light and medium
+// experiment (the heavy ones would cost minutes, not the ~5 s this suite
+// takes, so they stay quick-only). Unlike the quick golden this exercises
+// production problem sizes, so scaling bugs that the quick sizes mask —
+// capacity-dependent cache behaviour, multi-GiB region handling — surface
+// here as line diffs.
+func TestMediumRunGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the light and medium experiments at full size")
+	}
+	var ids []string
+	for _, e := range bench.All() {
+		if e.Cost == bench.CostLight || e.Cost == bench.CostMedium {
+			ids = append(ids, e.ID)
+		}
+	}
+	if len(ids) == 0 {
+		t.Fatal("no light/medium experiments registered")
+	}
+	code, stdout, stderr := runCLI(t, append([]string{"run"}, ids...)...)
+	if code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, stderr)
+	}
+
+	golden := filepath.Join("testdata", "medium_all.golden")
+	if *update {
 		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
 			t.Fatal(err)
 		}

@@ -13,6 +13,8 @@
 //	hpmpsim -metrics-dir m -quick run all   # per-experiment JSON + Prometheus
 //	hpmpsim -trace t -trace-every 64 run fig10  # sampled JSONL event traces
 //	hpmpsim -progress -pprof localhost:6060 run all  # live status + profiling
+//	hpmpsim diff baseline/ current/   # regression-gate two metrics dirs
+//	hpmpsim -diff-json v.json -wall-tol 0.5 diff base cur  # machine verdict
 //
 // Experiments run on a worker pool (`-parallel`, default NumCPU; 1 is
 // strictly sequential). Failures are isolated: a failing, panicking, or
@@ -29,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -69,6 +72,8 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	traceKeep := fs.Int("trace-keep", obs.DefaultRing, "with -trace, events retained per experiment")
 	progress := fs.Bool("progress", false, "print a live per-experiment status line to stderr as each finishes")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+	diffJSON := fs.String("diff-json", "", "with 'diff', also write the machine-readable verdict to this file")
+	wallTol := fs.Float64("wall-tol", 0, "with 'diff', fail on wall-time drift beyond this fraction (0 = report only)")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -156,6 +161,12 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return runExperiments(ctx, cfg, exps, opts, *csv, art, stdout, stderr)
+	case "diff":
+		if len(args) != 3 {
+			fmt.Fprintln(stderr, "hpmpsim: diff requires exactly two metrics directories: diff <baseline-dir> <current-dir>")
+			return 2
+		}
+		return runDiff(args[1], args[2], obs.DiffOptions{WallTol: *wallTol}, *diffJSON, stdout, stderr)
 	default:
 		fs.Usage()
 		return 2
@@ -239,6 +250,35 @@ func writeFile(path string, emit func(io.Writer) error) error {
 	return f.Close()
 }
 
+// runDiff compares two metrics directories (see internal/obs.DiffDirs) and
+// reports: the human table to stdout, regressions to stderr, optional
+// machine JSON to jsonPath. Exit 0 clean, 1 regression, 2 unreadable input.
+func runDiff(baseDir, curDir string, opt obs.DiffOptions, jsonPath string, stdout, stderr io.Writer) int {
+	rep, err := obs.DiffDirs(baseDir, curDir, opt)
+	if err != nil {
+		fmt.Fprintf(stderr, "hpmpsim: diff: %v\n", err)
+		return 2
+	}
+	fmt.Fprint(stdout, rep.Table().Render())
+	if jsonPath != "" {
+		emit := func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		if err := writeFile(jsonPath, emit); err != nil {
+			fmt.Fprintf(stderr, "hpmpsim: diff: %v\n", err)
+			return 2
+		}
+	}
+	if !rep.OK() {
+		fmt.Fprintf(stderr, "hpmpsim: metrics diff found %d regressions across %d experiments\n",
+			rep.Regressions, rep.Experiments)
+		return 1
+	}
+	return 0
+}
+
 // runExperiments drives the worker pool, streaming each result to stdout
 // in input order, then prints the summary to stderr. Returns 1 if any
 // experiment did not complete successfully or any artifact failed to
@@ -295,6 +335,7 @@ Usage:
   hpmpsim [flags] list
   hpmpsim [flags] describe <experiment-id>
   hpmpsim [flags] run <experiment-id>... | all
+  hpmpsim [flags] diff <baseline-dir> <current-dir>
 
 Flags:
 `)

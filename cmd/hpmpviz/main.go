@@ -6,25 +6,45 @@
 //	hpmpviz fig10        # bars of ld-latency per mode per test case
 //	hpmpviz fig12de      # bars of Redis RPS percentages
 //	hpmpviz -quick fig13 # scaled-down run
+//	hpmpviz -metrics m/fig10.json  # render a saved metrics snapshot
+//
+// With -metrics, nothing is re-run: the latency histograms and derived
+// rates of a snapshot written by `hpmpsim -metrics-dir` are rendered as
+// bars, so a CI artifact or committed baseline can be inspected offline.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"hpmp/internal/addr"
 	"hpmp/internal/bench"
+	"hpmp/internal/obs"
+	"hpmp/internal/stats"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run scaled-down experiment sizes")
 	width := flag.Int("width", 52, "max bar width in characters")
+	metrics := flag.String("metrics", "", "render a saved hpmp-metrics/v1 snapshot file instead of running an experiment")
 	flag.Parse()
+	if *metrics != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: hpmpviz -metrics <file> (no experiment id)")
+			os.Exit(2)
+		}
+		if err := renderMetricsFile(*metrics, *width); err != nil {
+			fmt.Fprintf(os.Stderr, "hpmpviz: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hpmpviz [-quick] <experiment-id>")
+		fmt.Fprintln(os.Stderr, "usage: hpmpviz [-quick] <experiment-id> | hpmpviz -metrics <file>")
 		os.Exit(2)
 	}
 	id := flag.Arg(0)
@@ -48,6 +68,87 @@ func main() {
 	for _, n := range res.Notes {
 		fmt.Println("note:", n)
 	}
+}
+
+// renderMetricsFile loads one snapshot and draws its latency histograms
+// (one bar per bucket) and derived rates, no simulation involved.
+func renderMetricsFile(path string, width int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := obs.ReadMetrics(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — %s (status %s, quick=%v, wall %.2fs)\n\n",
+		m.Experiment, orTitle(m.Title), m.Status, m.Quick, m.WallSeconds)
+
+	hists := make([]string, 0, len(m.Histograms))
+	for k := range m.Histograms {
+		hists = append(hists, k)
+	}
+	sort.Strings(hists)
+	for _, k := range hists {
+		renderHistogram(k, m.Histograms[k], width)
+	}
+
+	derived := make([]string, 0, len(m.Derived))
+	for k := range m.Derived {
+		derived = append(derived, k)
+	}
+	sort.Strings(derived)
+	if len(derived) > 0 {
+		fmt.Println("derived rates")
+		for _, k := range derived {
+			v := m.Derived[k]
+			n := int(v * float64(width))
+			fmt.Printf("  %-28s |%s %.4f\n", k, strings.Repeat("#", n), v)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// renderHistogram draws one latency histogram, one bar per bucket labelled
+// by its cycle range, scaled to the fullest bucket.
+func renderHistogram(name string, h stats.HistogramSnapshot, width int) {
+	fmt.Printf("%s (count %d, min %d, max %d cycles)\n", name, h.Count, h.Min, h.Max)
+	if h.Count == 0 {
+		fmt.Println("  (no observations)")
+		fmt.Println()
+		return
+	}
+	var maxC uint64
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var lo uint64
+	for i, c := range h.Counts {
+		label := "> last edge"
+		if i < len(h.Edges) {
+			label = fmt.Sprintf("%d-%d", lo, h.Edges[i])
+			lo = h.Edges[i] + 1
+		} else if len(h.Edges) > 0 {
+			label = fmt.Sprintf("> %d", h.Edges[len(h.Edges)-1])
+		}
+		if c == 0 {
+			continue // empty buckets add noise, not information
+		}
+		n := int(float64(c) / float64(maxC) * float64(width))
+		fmt.Printf("  %-12s |%s %d\n", label, strings.Repeat("#", n), c)
+	}
+	fmt.Println()
+}
+
+func orTitle(s string) string {
+	if s == "" {
+		return "(untitled)"
+	}
+	return s
 }
 
 // renderBars turns each numeric cell of a CSV table into a labelled bar,

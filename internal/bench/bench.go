@@ -90,6 +90,31 @@ func (c Config) observe(m *cpu.Machine) {
 			}
 		}
 	})
+	c.obs.addHists(func(into map[string]*stats.Histogram) {
+		mergeHist(into, "mmu.access_latency", m.MMU.LatHist)
+		mergeHist(into, "ptw.walk_latency", m.MMU.Walker.Hist)
+		if chk, ok := m.MMU.HPMPChecker(); ok {
+			mergeHist(into, "hpmp.check_latency", chk.Hist)
+			if chk.Walker != nil {
+				mergeHist(into, "pmptw.walk_latency", chk.Walker.Hist())
+			}
+		}
+	})
+}
+
+// mergeHist folds one machine's latency histogram into the experiment-wide
+// family map, creating the family on first sight. Nil sources (a machine
+// assembled without the structure) are skipped.
+func mergeHist(into map[string]*stats.Histogram, name string, src *stats.Histogram) {
+	if src == nil {
+		return
+	}
+	dst, ok := into[name]
+	if !ok {
+		dst = stats.DefaultLatencyHistogram()
+		into[name] = dst
+	}
+	dst.Merge(src)
 }
 
 // observeKernel registers a kernel's counters with the run's observer.
@@ -126,6 +151,12 @@ type Result struct {
 	// Render(); counter *values* are deterministic but their first-use
 	// order is not.
 	Counters stats.Counters
+	// Hists aggregates the cycle-latency histograms of every machine the
+	// experiment booted under the runner, keyed by family
+	// (mmu.access_latency, ptw.walk_latency, pmptw.walk_latency,
+	// hpmp.check_latency). Like Counters it is filled by the runner and
+	// excluded from Render().
+	Hists map[string]*stats.Histogram
 }
 
 // Render formats the whole result as text.

@@ -220,6 +220,8 @@ func runOne(ctx context.Context, cfg Config, exp Experiment, opts RunOptions) Ou
 			out.Result = r.res
 			r.res.Wall = out.Wall
 			ob.snapshot(&r.res.Counters)
+			r.res.Hists = make(map[string]*stats.Histogram)
+			ob.snapshotHists(r.res.Hists)
 			out.Trace = cfg.tracer
 		}
 	case <-timer:
@@ -239,8 +241,9 @@ func runOne(ctx context.Context, cfg Config, exp Experiment, opts RunOptions) Ou
 // experiment finishes. Safe for concurrent use; a nil observer is a no-op
 // (experiments run outside the runner skip observation entirely).
 type observer struct {
-	mu    sync.Mutex
-	snaps []func(into *stats.Counters)
+	mu        sync.Mutex
+	snaps     []func(into *stats.Counters)
+	histSnaps []func(into map[string]*stats.Histogram)
 }
 
 func (o *observer) add(f func(into *stats.Counters)) {
@@ -252,6 +255,16 @@ func (o *observer) add(f func(into *stats.Counters)) {
 	o.mu.Unlock()
 }
 
+// addHists registers a histogram collector alongside the counter snapshots.
+func (o *observer) addHists(f func(into map[string]*stats.Histogram)) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.histSnaps = append(o.histSnaps, f)
+	o.mu.Unlock()
+}
+
 // snapshot merges every observed counter set into one aggregate. Called
 // only after the experiment's goroutine has finished, so the counters are
 // quiescent.
@@ -259,6 +272,16 @@ func (o *observer) snapshot(into *stats.Counters) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	for _, f := range o.snaps {
+		f(into)
+	}
+}
+
+// snapshotHists merges every observed latency histogram into one family
+// map. Same quiescence contract as snapshot.
+func (o *observer) snapshotHists(into map[string]*stats.Histogram) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, f := range o.histSnaps {
 		f(into)
 	}
 }
@@ -316,6 +339,12 @@ func MetricsFor(o Outcome, quick bool) *obs.Metrics {
 		counters = o.Result.Counters.Snapshot()
 	}
 	m := obs.NewMetrics(o.Experiment.ID, counters)
+	if o.Result != nil && len(o.Result.Hists) > 0 {
+		m.Histograms = make(map[string]stats.HistogramSnapshot, len(o.Result.Hists))
+		for name, h := range o.Result.Hists {
+			m.Histograms[name] = h.Snapshot()
+		}
+	}
 	m.Title = o.Experiment.Title
 	m.Figure = o.Experiment.Figure
 	m.Status = string(o.Status)

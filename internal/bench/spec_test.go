@@ -117,6 +117,8 @@ func TestRunAllTracing(t *testing.T) {
 		`"quick": true`,
 		`"counters"`,
 		`"derived"`,
+		`"histograms"`,
+		`"mmu.access_latency"`,
 		`"trace"`,
 	} {
 		if !strings.Contains(buf.String(), want) {

@@ -42,6 +42,14 @@ type Checker struct {
 	// Hot-path counter handles, resolved once at construction.
 	hDenyNoMatch, hDenyStraddle, hSegmentCheck, hTableCheck *uint64
 
+	// Hist is the permission-check latency histogram ("hpmp.check_latency"
+	// in metrics snapshots): one observation per completed check. Segment
+	// checks land in the first bucket (zero memory references); table
+	// checks carry their pmpte-fetch cycles. Allocated once in NewSized and
+	// written in place, so recording stays allocation-free
+	// (TestHPMPCheckSegmentZeroAllocs pins it).
+	Hist *stats.Histogram
+
 	Counters stats.Counters
 }
 
@@ -53,7 +61,7 @@ func New(w *pmpt.Walker) *Checker {
 
 // NewSized builds a checker with n entries (64 for the ePMP variant).
 func NewSized(w *pmpt.Walker, n int) *Checker {
-	c := &Checker{PMP: pmp.NewSized(n), Walker: w}
+	c := &Checker{PMP: pmp.NewSized(n), Walker: w, Hist: stats.DefaultLatencyHistogram()}
 	c.hDenyNoMatch = c.Counters.Handle("hpmp.deny_nomatch")
 	c.hDenyStraddle = c.Counters.Handle("hpmp.deny_straddle")
 	c.hSegmentCheck = c.Counters.Handle("hpmp.segment_check")
@@ -160,6 +168,9 @@ type Result struct {
 // issuing any permission-table references at core-cycle `now`.
 func (c *Checker) Check(pa addr.PA, size uint64, k perm.Access, priv perm.Priv, now uint64) (Result, error) {
 	res, err := c.checkInner(pa, size, k, priv, now)
+	if err == nil {
+		c.Hist.Observe(res.Latency)
+	}
 	if err == nil && c.Trace != nil {
 		ev := obs.Event{
 			Kind:    obs.KindCheck,

@@ -1,0 +1,106 @@
+// Cross-commit metrics regression gate: the committed baseline under
+// testdata/metrics_baseline holds one hpmp-metrics/v1 snapshot per
+// registered experiment, produced by `make metrics-baseline` (quick sizes).
+// The simulator is deterministic, so a fresh quick run must reproduce every
+// counter, derived rate, and latency-histogram bucket exactly; only wall
+// time may drift. These tests are what the CI metrics-diff job runs; they
+// are also the refresh oracle — when an intentional behaviour change lands,
+// regenerate the baseline and re-run.
+package integration
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpmp/internal/bench"
+	"hpmp/internal/obs"
+)
+
+const baselineDir = "testdata/metrics_baseline"
+
+// freshQuickMetrics runs every registered experiment at quick sizes and
+// writes metrics snapshots into a temp dir, mirroring
+// `hpmpsim -quick -metrics-dir`.
+func freshQuickMetrics(t *testing.T) string {
+	t.Helper()
+	cfg := bench.DefaultConfig()
+	cfg.Quick = true
+	dir := t.TempDir()
+	outcomes := bench.RunAll(context.Background(), cfg, bench.All(), bench.RunOptions{Parallel: 4}, nil)
+	for _, o := range outcomes {
+		if !o.OK() {
+			t.Fatalf("%s: %v", o.Experiment.ID, o.Err)
+		}
+		m := bench.MetricsFor(o, true)
+		f, err := os.Create(filepath.Join(dir, o.Experiment.ID+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return dir
+}
+
+// TestMetricsMatchCommittedBaseline is the regression gate: a fresh quick
+// run diffs clean against the committed baseline. On intentional metric
+// changes, refresh with `make metrics-baseline` and commit the new
+// snapshots alongside the change.
+func TestMetricsMatchCommittedBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick evaluation")
+	}
+	cur := freshQuickMetrics(t)
+	rep, err := obs.DiffDirs(baselineDir, cur, obs.DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("metrics regressed against the committed baseline (refresh with `make metrics-baseline` if intentional):\n%s",
+			rep.Table().Render())
+	}
+}
+
+// TestBaselineCoversEveryExperiment: the committed baseline has exactly one
+// parseable snapshot per registered experiment, so a newly registered
+// experiment (or a deleted one) forces a baseline refresh.
+func TestBaselineCoversEveryExperiment(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(baselineDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := obs.ReadMetrics(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if m.Status != "ok" || !m.Quick {
+			t.Errorf("%s: baseline snapshot must be a quick ok run, got status=%q quick=%v", p, m.Status, m.Quick)
+		}
+		if len(m.Histograms) == 0 && len(m.Counters) > 0 {
+			t.Errorf("%s: simulated experiment's baseline carries no latency histograms", p)
+		}
+		have[m.Experiment] = true
+	}
+	for _, e := range bench.All() {
+		// The injected test-only experiment from other packages never
+		// registers here, so All() is exactly the shipped registry.
+		if !have[e.ID] {
+			t.Errorf("experiment %s missing from committed baseline (run `make metrics-baseline`)", e.ID)
+		}
+		delete(have, e.ID)
+	}
+	for id := range have {
+		t.Errorf("baseline carries unregistered experiment %s (run `make metrics-baseline`)", id)
+	}
+}

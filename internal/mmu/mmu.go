@@ -87,6 +87,13 @@ type MMU struct {
 	hAccessFaultPT, hPageFault, hProtFault *uint64
 	hAccessFaultData, hAccessFaultInline   *uint64
 
+	// LatHist is the end-to-end access-latency histogram ("mmu.access_latency"
+	// in metrics snapshots): one observation per completed Access, faulted or
+	// not, covering translation plus the data reference. Allocated once in
+	// New and written in place, so recording stays allocation-free
+	// (TestTLBHitAccessZeroAllocs pins it).
+	LatHist *stats.Histogram
+
 	Counters stats.Counters
 }
 
@@ -102,6 +109,7 @@ func New(cfg Config, hier *cache.Hierarchy, mem *phys.Memory, checker ptw.Checke
 		Checker: checker,
 		Hier:    hier,
 		Mem:     mem,
+		LatHist: stats.DefaultLatencyHistogram(),
 	}
 	for lvl := cache.Level(0); lvl < cache.NumLevels; lvl++ {
 		m.hData[lvl] = m.Counters.Handle("mmu.data_" + lvl.String())
@@ -192,6 +200,7 @@ func (r Result) Faulted() bool { return r.PageFault || r.ProtFault || r.AccessFa
 func (m *MMU) Access(va addr.VA, k perm.Access, priv perm.Priv, now uint64) (Result, error) {
 	res, err := m.accessInner(va, k, priv, now)
 	if err == nil {
+		m.LatHist.Observe(res.Latency)
 		if m.Trace != nil {
 			m.Trace.Emit(AccessEvent(va, k, res))
 		}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"hpmp/internal/stats"
 )
 
 // MetricsSchema names the metrics-JSON format version; the schema test in
@@ -32,6 +34,12 @@ type Metrics struct {
 	// Derived holds rates computed from Counters (hit ratios, per-level
 	// data distribution); see DeriveRates for the catalogue.
 	Derived map[string]float64 `json:"derived"`
+	// Histograms holds the cycle-latency distributions recorded on the
+	// translation path (mmu.access_latency, ptw.walk_latency,
+	// pmptw.walk_latency, hpmp.check_latency), keyed by family. The field
+	// is optional, so the schema stays hpmp-metrics/v1: snapshots written
+	// before histogram wiring simply lack it.
+	Histograms map[string]stats.HistogramSnapshot `json:"histograms,omitempty"`
 	// Trace summarizes the event tracer when one was attached.
 	Trace *TraceStats `json:"trace,omitempty"`
 }
@@ -123,11 +131,71 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 	return enc.Encode(m)
 }
 
+// ReadMetrics parses one hpmp-metrics/v1 snapshot, rejecting other
+// schemas. It is the read side of WriteJSON, shared by the diff engine and
+// hpmpviz.
+func ReadMetrics(r io.Reader) (*Metrics, error) {
+	var m Metrics
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: parsing metrics: %w", err)
+	}
+	if m.Schema != MetricsSchema {
+		return nil, fmt.Errorf("obs: metrics schema %q, want %q", m.Schema, MetricsSchema)
+	}
+	return &m, nil
+}
+
 // promEscape escapes a string for use inside a Prometheus label value.
 // Counter names ride in labels under fixed metric families, so scrape
 // configs need no per-counter rules.
 func promEscape(s string) string {
 	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+// promName sanitizes a histogram family key into a legal Prometheus metric
+// name: every character outside [a-zA-Z0-9_] becomes '_' (dots and dashes
+// are the ones our keys actually carry), and a leading digit gets an
+// underscore prefix.
+func promName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writePromHistogram renders one histogram family in the native Prometheus
+// histogram exposition: cumulative _bucket samples with le edges (plus
+// +Inf), then _sum and _count. The family name derives from the snapshot
+// key via promName, so "mmu.access_latency" becomes
+// hpmp_mmu_access_latency_*.
+func writePromHistogram(b *strings.Builder, exp, key string, h stats.HistogramSnapshot) {
+	name := "hpmp_" + promName(key)
+	fmt.Fprintf(b, "# HELP %s Cycle-latency histogram %s.\n", name, key)
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Edges) {
+			le = fmt.Sprintf("%d", h.Edges[i])
+		}
+		fmt.Fprintf(b, "%s_bucket{experiment=%q,le=%q} %d\n", name, exp, le, cum)
+	}
+	fmt.Fprintf(b, "%s_sum{experiment=%q} %d\n", name, exp, h.Sum)
+	fmt.Fprintf(b, "%s_count{experiment=%q} %d\n", name, exp, h.Count)
 }
 
 // WritePrometheus emits the snapshot in the Prometheus text exposition
@@ -160,6 +228,15 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	b.WriteString("# TYPE hpmp_derived gauge\n")
 	for _, k := range derived {
 		fmt.Fprintf(&b, "hpmp_derived{experiment=%q,metric=%q} %g\n", exp, promEscape(k), m.Derived[k])
+	}
+
+	hists := make([]string, 0, len(m.Histograms))
+	for k := range m.Histograms {
+		hists = append(hists, k)
+	}
+	sort.Strings(hists)
+	for _, k := range hists {
+		writePromHistogram(&b, exp, k, m.Histograms[k])
 	}
 
 	if m.Trace != nil {

@@ -330,6 +330,14 @@ func (w *Walker) WalkDeep(rootBase addr.PA, region addr.Range, mode TableMode, p
 	if mode == Mode2Level {
 		return w.Walk(rootBase, region, pa, now)
 	}
+	res, err := w.walkDeepInner(rootBase, region, mode, pa, now)
+	if err == nil {
+		w.hist().Observe(res.Latency)
+	}
+	return res, err
+}
+
+func (w *Walker) walkDeepInner(rootBase addr.PA, region addr.Range, mode TableMode, pa addr.PA, now uint64) (WalkResult, error) {
 	if mode.Levels() == 0 {
 		return WalkResult{}, fmt.Errorf("pmpt: walk with reserved mode %d", mode)
 	}

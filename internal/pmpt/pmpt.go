@@ -426,6 +426,13 @@ type Walker struct {
 	// rather than constructor-time.
 	hh walkerHandles
 
+	// latHist is the PMPT-walk latency histogram ("pmptw.walk_latency" in
+	// metrics snapshots): one observation per completed walk, shallow or
+	// deep. Like the counter handles it is lazily allocated on first use
+	// (walkers are struct literals), then written in place — the cache-hit
+	// zero-alloc pin covers the steady state.
+	latHist *stats.Histogram
+
 	Counters stats.Counters
 }
 
@@ -459,9 +466,30 @@ func (w *Walker) bump(h *uint64, name string) {
 	}
 }
 
+// hist lazily allocates the walk-latency histogram, mirroring handles().
+func (w *Walker) hist() *stats.Histogram {
+	if w.latHist == nil {
+		w.latHist = stats.DefaultLatencyHistogram()
+	}
+	return w.latHist
+}
+
+// Hist returns the walker's PMPT-walk latency histogram (allocating it if
+// no walk has run yet). Readers follow the stats ownership model: only
+// after the goroutine driving the walker has finished.
+func (w *Walker) Hist() *stats.Histogram { return w.hist() }
+
 // Walk resolves the permission for pa against the table rooted at rootBase
 // protecting region, issuing pmpte fetches at core-cycle now.
 func (w *Walker) Walk(rootBase addr.PA, region addr.Range, pa addr.PA, now uint64) (WalkResult, error) {
+	res, err := w.walkInner(rootBase, region, pa, now)
+	if err == nil {
+		w.hist().Observe(res.Latency)
+	}
+	return res, err
+}
+
+func (w *Walker) walkInner(rootBase addr.PA, region addr.Range, pa addr.PA, now uint64) (WalkResult, error) {
 	if !region.Contains(pa) {
 		return WalkResult{}, fmt.Errorf("pmpt: walk for %v outside region %v", pa, region)
 	}

@@ -60,13 +60,20 @@ type Walker struct {
 	// Hot-path counter handles, resolved once in New.
 	hPWCHit, hPTEFetch, hWalkOK, hPageFault, hAccessFault *uint64
 
+	// Hist is the native-walk latency histogram ("ptw.walk_latency" in
+	// metrics snapshots): one observation per completed walk, faulted or
+	// not. Allocated once in New and written in place, so recording stays
+	// allocation-free (TestPTWWalkPWCHitZeroAllocs pins it).
+	Hist *stats.Histogram
+
 	Counters stats.Counters
 }
 
 // New builds a walker for the given translation mode with an n-entry PWC
 // (n=0 disables the PWC).
 func New(mode addr.Mode, port memport.Port, checker Checker, pwcEntries int) *Walker {
-	w := &Walker{Mode: mode, Port: port, Checker: checker, Priv: perm.S}
+	w := &Walker{Mode: mode, Port: port, Checker: checker, Priv: perm.S,
+		Hist: stats.DefaultLatencyHistogram()}
 	if pwcEntries > 0 {
 		w.PWC = NewPWC(pwcEntries)
 	}
@@ -138,9 +145,22 @@ func leafTranslation(e pt.PTE, va addr.VA, level int) pt.Translation {
 // path (behind the L1 TLB hit) and its loop body must not carry tracing
 // spill code. BenchmarkPTWWalkPWCHit pins the budget.
 func (w *Walker) Walk(root addr.PA, va addr.VA, now uint64) (Result, error) {
+	var res Result
+	var err error
 	if w.Trace != nil {
-		return w.walkTraced(root, va, now)
+		res, err = w.walkTraced(root, va, now)
+	} else {
+		res, err = w.walkFast(root, va, now)
 	}
+	if err == nil && w.Hist != nil {
+		w.Hist.Observe(res.Latency)
+	}
+	return res, err
+}
+
+// walkFast is the untraced walk loop; Walk dispatches here when no tracer
+// is attached.
+func (w *Walker) walkFast(root addr.PA, va addr.VA, now uint64) (Result, error) {
 	var res Result
 	if !w.Mode.Canonical(va) {
 		res.PageFault = true

@@ -146,9 +146,18 @@ func DefaultLatencyHistogram() *Histogram {
 	return NewHistogram(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
 }
 
-// Observe records one value.
+// Observe records one value. It sits on the simulator's per-access hot
+// paths, so it is a plain loop over the (dozen-entry) edge slice rather
+// than sort.Search — no closure, no allocation; TestHistogramObserveZeroAllocs
+// pins that.
 func (h *Histogram) Observe(v uint64) {
-	i := sort.Search(len(h.edges), func(i int) bool { return v <= h.edges[i] })
+	i := len(h.edges)
+	for j, e := range h.edges {
+		if v <= e {
+			i = j
+			break
+		}
+	}
 	h.counts[i]++
 	h.sum += v
 	if h.n == 0 || v < h.min {
@@ -179,6 +188,77 @@ func (h *Histogram) Min() uint64 { return h.min }
 
 // Max returns the largest observation (0 if empty).
 func (h *Histogram) Max() uint64 { return h.max }
+
+// Edges returns a copy of the bucket upper edges.
+func (h *Histogram) Edges() []uint64 {
+	out := make([]uint64, len(h.edges))
+	copy(out, h.edges)
+	return out
+}
+
+// Counts returns a copy of the per-bucket counts; the extra final element
+// is the overflow bucket (values above the last edge).
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Merge adds every observation of o into h. The histograms must share the
+// same bucket edges — merging differently shaped histograms is a
+// programming error, caught by panic like a mismatched Counters handle
+// would be.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if len(h.edges) != len(o.edges) {
+		panic("stats: merging histograms with different edges")
+	}
+	for i, e := range h.edges {
+		if o.edges[i] != e {
+			panic("stats: merging histograms with different edges")
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.sum += o.sum
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+}
+
+// HistogramSnapshot is the exportable view of a Histogram: independent
+// copies of the edges and counts plus the scalar summaries, in the shape
+// the hpmp-metrics/v1 JSON schema carries under "histograms". Counts has
+// one more element than Edges — the overflow bucket.
+type HistogramSnapshot struct {
+	Edges  []uint64 `json:"edges"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    uint64   `json:"sum"`
+	Min    uint64   `json:"min"`
+	Max    uint64   `json:"max"`
+}
+
+// Snapshot copies the histogram into an export-ready snapshot, independent
+// of the live histogram (safe to cross goroutines after the owning
+// goroutine has finished, like Counters.Snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Edges:  h.Edges(),
+		Counts: h.Counts(),
+		Count:  h.n,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+}
 
 // Quantile returns an approximation of the q-quantile (0 ≤ q ≤ 1) using the
 // bucket upper edges.

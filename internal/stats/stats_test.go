@@ -243,3 +243,75 @@ func TestZeroHistogram(t *testing.T) {
 		t.Errorf("zero histogram quantiles: p50=%d p99=%d", h.Quantile(0.5), h.Quantile(0.99))
 	}
 }
+
+// TestHistogramMergeSnapshot: Merge folds one histogram into another
+// bucket-by-bucket (with min/max/sum/count), and Snapshot round-trips the
+// state as plain slices without aliasing the live histogram.
+func TestHistogramMergeSnapshot(t *testing.T) {
+	a := NewHistogram(10, 100)
+	b := NewHistogram(10, 100)
+	for _, v := range []uint64{3, 50} {
+		a.Observe(v)
+	}
+	for _, v := range []uint64{7, 500} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != 4 || a.Sum() != 560 || a.Min() != 3 || a.Max() != 500 {
+		t.Errorf("merged stats: count=%d sum=%d min=%d max=%d", a.Count(), a.Sum(), a.Min(), a.Max())
+	}
+	s := a.Snapshot()
+	if len(s.Edges) != 2 || len(s.Counts) != 3 {
+		t.Fatalf("snapshot shape: edges=%v counts=%v", s.Edges, s.Counts)
+	}
+	if s.Counts[0] != 2 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Errorf("snapshot counts = %v, want [2 1 1]", s.Counts)
+	}
+	if s.Count != 4 || s.Sum != 560 || s.Min != 3 || s.Max != 500 {
+		t.Errorf("snapshot scalars: %+v", s)
+	}
+	// Mutating the snapshot must not touch the histogram.
+	s.Counts[0] = 999
+	s.Edges[0] = 999
+	if a.Counts()[0] != 2 || a.Edges()[0] != 10 {
+		t.Error("Snapshot aliased the histogram's internal slices")
+	}
+
+	// Merging an empty or nil histogram is a no-op, including min.
+	before := a.Snapshot()
+	a.Merge(NewHistogram(10, 100))
+	a.Merge(nil)
+	after := a.Snapshot()
+	if before.Count != after.Count || before.Min != after.Min {
+		t.Errorf("empty merge changed state: %+v -> %+v", before, after)
+	}
+}
+
+// TestHistogramMergePanicsOnMismatchedEdges: folding histograms with
+// different bucket layouts is a programming error, not a silent skew.
+func TestHistogramMergePanicsOnMismatchedEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched edges")
+		}
+	}()
+	a := NewHistogram(10, 100)
+	b := NewHistogram(10, 200)
+	b.Observe(1)
+	a.Merge(b)
+}
+
+// TestHistogramObserveZeroAllocs pins the per-observation cost of the
+// latency histograms now attached to every translation-path hot loop:
+// Observe must be a pure in-place bucket increment.
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	var v uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v = (v + 97) % 8192
+	})
+	if allocs != 0 {
+		t.Errorf("Histogram.Observe allocates %v per op, want 0", allocs)
+	}
+}
