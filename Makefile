@@ -58,10 +58,16 @@ metrics-baseline:
 	rm -f $(METRICS_BASELINE)/*.prom
 
 # Diff a fresh quick run against the committed baseline, like CI does.
+# WALL_TOL: wall-time rows fail the gate beyond this relative drift.
+# Measured across 5 quick `run all` passes on one host, per-experiment wall
+# spread reaches ~15x on millisecond-scale experiments (scheduler noise
+# dominates; see EXPERIMENTS.md), so 20 is the tightest bound that does not
+# flake — it exists to catch order-of-magnitude blowups, not small drift.
+WALL_TOL := 20
 metrics-diff:
 	rm -rf obs-out/metrics-current
 	$(GO) run ./cmd/hpmpsim -quick -metrics-dir obs-out/metrics-current run all > /dev/null
-	$(GO) run ./cmd/hpmpsim -diff-json obs-out/metrics-diff.json \
+	$(GO) run ./cmd/hpmpsim -diff-json obs-out/metrics-diff.json -wall-tol $(WALL_TOL) \
 		diff $(METRICS_BASELINE) obs-out/metrics-current
 
 # One testing.B target per paper table/figure (quick sizes).

@@ -156,18 +156,46 @@ func benchRig(b testing.TB) (*mmu.MMU, addr.VA) {
 func BenchmarkTLBHitAccess(b *testing.B) {
 	m, va := benchRig(b)
 	// Warm the TLB and caches.
-	if _, err := m.Access(va, perm.Read, perm.U, 0); err != nil {
+	var res mmu.Result
+	if err := m.Access(va, perm.Read, perm.U, 0, &res); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	now := uint64(1000)
 	for i := 0; i < b.N; i++ {
-		res, err := m.Access(va, perm.Read, perm.U, now)
-		if err != nil {
+		if err := m.Access(va, perm.Read, perm.U, now, &res); err != nil {
 			b.Fatal(err)
 		}
 		now += res.Latency
+	}
+}
+
+// BenchmarkAccessBatchTLBHit measures the same steady-state TLB-hit stream
+// submitted through the batched entry point, blockSize references at a
+// time — the per-reference cost floor once dispatch and the trace/observer
+// tests are amortized across a block.
+func BenchmarkAccessBatchTLBHit(b *testing.B) {
+	m, va := benchRig(b)
+	var warm mmu.Result
+	if err := m.Access(va, perm.Read, perm.U, 0, &warm); err != nil {
+		b.Fatal(err)
+	}
+	const blockSize = 64
+	refs := make([]mmu.AccessReq, blockSize)
+	for i := range refs {
+		refs[i] = mmu.AccessReq{VA: va, Kind: perm.Read, Priv: perm.U}
+	}
+	out := make([]mmu.Result, blockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := uint64(1000)
+	for i := 0; i < b.N; i += blockSize {
+		end, err := m.AccessBatch(refs, out, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = end
 	}
 }
 
@@ -294,19 +322,46 @@ func TestPMPTWalkCacheHitZeroAllocs(t *testing.T) {
 // slow drift in benchmark numbers.
 func TestTLBHitAccessZeroAllocs(t *testing.T) {
 	m, va := benchRig(t)
-	if _, err := m.Access(va, perm.Read, perm.U, 0); err != nil {
+	var res mmu.Result
+	if err := m.Access(va, perm.Read, perm.U, 0, &res); err != nil {
 		t.Fatal(err)
 	}
 	now := uint64(1000)
 	allocs := testing.AllocsPerRun(1000, func() {
-		res, err := m.Access(va, perm.Read, perm.U, now)
-		if err != nil {
+		if err := m.Access(va, perm.Read, perm.U, now, &res); err != nil {
 			t.Fatal(err)
 		}
 		now += res.Latency
 	})
 	if allocs != 0 {
 		t.Errorf("TLB-hit access allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestAccessBatchZeroAllocs pins the batched entry point's budget: with the
+// request and result slices provided by the caller, a steady-state block of
+// TLB-hit accesses must not allocate at all.
+func TestAccessBatchZeroAllocs(t *testing.T) {
+	m, va := benchRig(t)
+	var warm mmu.Result
+	if err := m.Access(va, perm.Read, perm.U, 0, &warm); err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]mmu.AccessReq, 64)
+	for i := range refs {
+		refs[i] = mmu.AccessReq{VA: va, Kind: perm.Read, Priv: perm.U}
+	}
+	out := make([]mmu.Result, len(refs))
+	now := uint64(1000)
+	allocs := testing.AllocsPerRun(100, func() {
+		end, err := m.AccessBatch(refs, out, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = end
+	})
+	if allocs != 0 {
+		t.Errorf("batched TLB-hit access allocates %.1f times per block, want 0", allocs)
 	}
 }
 
@@ -318,13 +373,13 @@ func TestTLBHitAccessZeroAllocs(t *testing.T) {
 func TestTLBHitAccessZeroAllocsWithTracer(t *testing.T) {
 	m, va := benchRig(t)
 	m.Trace = obs.NewTracer(obs.DefaultRing, 1)
-	if _, err := m.Access(va, perm.Read, perm.U, 0); err != nil {
+	var res mmu.Result
+	if err := m.Access(va, perm.Read, perm.U, 0, &res); err != nil {
 		t.Fatal(err)
 	}
 	now := uint64(1000)
 	allocs := testing.AllocsPerRun(1000, func() {
-		res, err := m.Access(va, perm.Read, perm.U, now)
-		if err != nil {
+		if err := m.Access(va, perm.Read, perm.U, now, &res); err != nil {
 			t.Fatal(err)
 		}
 		now += res.Latency
@@ -391,8 +446,9 @@ func TestHPMPCheckSegmentZeroAllocs(t *testing.T) {
 // snapshots will export — the end-to-end wiring the observability PR added.
 func TestHotPathHistogramsRecord(t *testing.T) {
 	m, va := benchRig(t)
+	var res mmu.Result
 	for i := 0; i < 4; i++ {
-		if _, err := m.Access(va, perm.Read, perm.U, uint64(i*100)); err != nil {
+		if err := m.Access(va, perm.Read, perm.U, uint64(i*100), &res); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"hpmp/internal/addr"
 	"hpmp/internal/cpu"
 	"hpmp/internal/kernel"
+	"hpmp/internal/mmu"
 	"hpmp/internal/monitor"
 	"hpmp/internal/perm"
 )
@@ -59,7 +60,8 @@ func main() {
 		// 5. Flush the TLB and measure a single load: the walk now shows
 		//    the paper's reference counts.
 		mach.MMU.FlushTLB()
-		res, err := mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now)
+		var res mmu.Result
+		err = mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now, &res)
 		if err != nil || res.Faulted() {
 			log.Fatalf("access: %+v %v", res, err)
 		}
@@ -71,7 +73,7 @@ func main() {
 
 		// A second access hits the TLB with the inlined permission: one
 		// reference under every mode.
-		res, _ = mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now)
+		_ = mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now, &res)
 		fmt.Printf("%-5v warm load: %2d memory reference  (TLB %s hit), %4d cycles\n\n",
 			mode, res.TotalRefs(), res.TLBHit, res.Latency)
 	}

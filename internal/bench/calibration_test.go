@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hpmp/internal/cpu"
+	"hpmp/internal/mmu"
 	"hpmp/internal/monitor"
 	"hpmp/internal/perm"
 )
@@ -119,7 +120,8 @@ func TestHostSystemMatchesPMPBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.Mach.MMU.FlushTLB()
-	res, err := sys.Mach.MMU.Access(va, perm.Read, perm.U, sys.Mach.Core.Now)
+	var res mmu.Result
+	err = sys.Mach.MMU.Access(va, perm.Read, perm.U, sys.Mach.Core.Now, &res)
 	if err != nil || res.Faulted() {
 		t.Fatalf("%+v %v", res, err)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"hpmp/internal/addr"
 	"hpmp/internal/cpu"
+	"hpmp/internal/mmu"
 	"hpmp/internal/monitor"
 	"hpmp/internal/perm"
 	"hpmp/internal/phys"
@@ -270,8 +271,8 @@ func countRefs(mode addr.Mode, iso string, cfg Config) (int, error) {
 	}
 	mach.MMU.SetRoot(tbl.Root())
 	mach.MMU.FlushTLB()
-	r, err := mach.MMU.Access(va, perm.Read, perm.U, 0)
-	if err != nil {
+	var r mmu.Result
+	if err := mach.MMU.Access(va, perm.Read, perm.U, 0, &r); err != nil {
 		return 0, err
 	}
 	if r.Faulted() {

@@ -6,6 +6,7 @@ import (
 	"hpmp/internal/addr"
 	"hpmp/internal/cpu"
 	"hpmp/internal/kernel"
+	"hpmp/internal/mmu"
 	"hpmp/internal/monitor"
 	"hpmp/internal/perm"
 	"hpmp/internal/stats"
@@ -102,17 +103,25 @@ func fragProbe(mode monitor.Mode, fragVA, fragPA, pmptwCache bool, nPages int, c
 		mach.PMPTWCache.Invalidate()
 	}
 
+	// The measurement loop is a pure serial reference stream — exactly the
+	// shape AccessBatch batches: each access issues at the cycle the
+	// previous one retired.
 	start := mach.Core.Now
-	for _, va := range vas {
-		res, err := mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now)
-		if err != nil {
-			return 0, err
-		}
-		if res.Faulted() {
-			return 0, fmt.Errorf("fragProbe: fault at %v: %+v", va, res)
-		}
-		mach.Core.Now += res.Latency
+	reqs := make([]mmu.AccessReq, len(vas))
+	for i, va := range vas {
+		reqs[i] = mmu.AccessReq{VA: va, Kind: perm.Read, Priv: perm.U}
 	}
+	out := make([]mmu.Result, len(vas))
+	end, err := mach.MMU.AccessBatch(reqs, out, mach.Core.Now)
+	if err != nil {
+		return 0, err
+	}
+	for i := range out {
+		if out[i].Faulted() {
+			return 0, fmt.Errorf("fragProbe: fault at %v: %+v", vas[i], out[i])
+		}
+	}
+	mach.Core.Now = end
 	return mach.Core.Now - start, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"hpmp/internal/addr"
 	"hpmp/internal/cpu"
+	"hpmp/internal/mmu"
 	"hpmp/internal/monitor"
 	"hpmp/internal/perm"
 	"hpmp/internal/stats"
@@ -64,12 +65,12 @@ func latencyProbe(plat cpu.Platform, mode monitor.Mode, tc TestCase, write bool,
 	if write {
 		kind = perm.Write
 	}
-	mmu := sys.Mach.MMU
+	mm := sys.Mach.MMU
 	core := sys.Mach.Core
 
+	var res mmu.Result
 	prime := func(target addr.VA) error {
-		_, err := mmu.Access(target, kind, perm.U, core.Now)
-		return err
+		return mm.Access(target, kind, perm.U, core.Now, &res)
 	}
 
 	target := va
@@ -82,7 +83,7 @@ func latencyProbe(plat cpu.Platform, mode monitor.Mode, tc TestCase, write bool,
 		if err := prime(va); err != nil {
 			return 0, err
 		}
-		mmu.FlushTLB()
+		mm.FlushTLB()
 	case TC3:
 		// Access the neighbour page first: upper-level PTEs land in the
 		// PWC and caches; then probe the victim page, whose L0 PTE fetch
@@ -93,7 +94,7 @@ func latencyProbe(plat cpu.Platform, mode monitor.Mode, tc TestCase, write bool,
 		if err := prime(va); err != nil { // warm the victim's own lines
 			return 0, err
 		}
-		mmu.FlushVA(va)                                   // victim TLB entry out, PWC flushed
+		mm.FlushVA(va)                                    // victim TLB entry out, PWC flushed
 		if err := prime(va + addr.PageSize); err != nil { // re-warm PWC upper levels
 			return 0, err
 		}
@@ -103,8 +104,7 @@ func latencyProbe(plat cpu.Platform, mode monitor.Mode, tc TestCase, write bool,
 		}
 	}
 
-	res, err := mmu.Access(target, kind, perm.U, core.Now)
-	if err != nil {
+	if err := mm.Access(target, kind, perm.U, core.Now, &res); err != nil {
 		return 0, err
 	}
 	if res.Faulted() {

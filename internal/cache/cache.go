@@ -362,12 +362,13 @@ func (l Level) String() string {
 	}
 }
 
-// AccessResult describes where a request was satisfied.
+// AccessResult describes where a request was satisfied. Level carries the
+// hit level as an index (render with Level.String when a name is needed) so
+// the struct stays two words — it rides the MMU's per-access hot path and
+// must not drag a string header through every return.
 type AccessResult struct {
-	Latency  uint64 // total core cycles
-	HitLevel string // "L1", "L2", "LLC", or "DRAM"
-	// Level is HitLevel as an index, for allocation-free counter selection.
-	Level Level
+	Latency uint64 // total core cycles
+	Level   Level  // where the request hit
 }
 
 // Access runs one line-sized memory reference at core-cycle `now` through
@@ -392,7 +393,7 @@ func (h *Hierarchy) access(pa addr.PA, now uint64, write bool, skipL1 bool) Acce
 		lat = h.L1.Config().Latency
 		if h.L1.Lookup(pa, write) {
 			h.bump(hh.l1Hit, "mem.l1_hit")
-			return AccessResult{Latency: lat, HitLevel: "L1", Level: LvlL1}
+			return AccessResult{Latency: lat, Level: LvlL1}
 		}
 	}
 	lat += h.L2.Config().Latency
@@ -401,7 +402,7 @@ func (h *Hierarchy) access(pa addr.PA, now uint64, write bool, skipL1 bool) Acce
 			h.L1.Fill(pa, write)
 		}
 		h.bump(hh.l2Hit, "mem.l2_hit")
-		return AccessResult{Latency: lat, HitLevel: "L2", Level: LvlL2}
+		return AccessResult{Latency: lat, Level: LvlL2}
 	}
 	lat += h.LLC.Config().Latency
 	if h.LLC.Lookup(pa, write) {
@@ -410,7 +411,7 @@ func (h *Hierarchy) access(pa addr.PA, now uint64, write bool, skipL1 bool) Acce
 			h.L1.Fill(pa, write)
 		}
 		h.bump(hh.llcHit, "mem.llc_hit")
-		return AccessResult{Latency: lat, HitLevel: "LLC", Level: LvlLLC}
+		return AccessResult{Latency: lat, Level: LvlLLC}
 	}
 	// DRAM: convert the core-cycle issue time into controller cycles, run
 	// the access, convert back. A write miss pays an extra
@@ -428,7 +429,7 @@ func (h *Hierarchy) access(pa addr.PA, now uint64, write bool, skipL1 bool) Acce
 		h.L1.Fill(pa, write)
 	}
 	h.bump(hh.dram, "mem.dram_access")
-	return AccessResult{Latency: lat, HitLevel: "DRAM", Level: LvlDRAM}
+	return AccessResult{Latency: lat, Level: LvlDRAM}
 }
 
 // bump increments a pre-resolved handle on the fast path, or performs the

@@ -141,12 +141,12 @@ func TestHierarchyLatencyOrdering(t *testing.T) {
 	pa := addr.PA(0x10_0000)
 
 	cold := h.Access(pa, 0, false)
-	if cold.HitLevel != "DRAM" {
-		t.Fatalf("first access should reach DRAM, got %s", cold.HitLevel)
+	if cold.Level != LvlDRAM {
+		t.Fatalf("first access should reach DRAM, got %s", cold.Level)
 	}
 	warm := h.Access(pa, cold.Latency, false)
-	if warm.HitLevel != "L1" {
-		t.Fatalf("second access should hit L1, got %s", warm.HitLevel)
+	if warm.Level != LvlL1 {
+		t.Fatalf("second access should hit L1, got %s", warm.Level)
 	}
 	if warm.Latency != h.L1.Config().Latency {
 		t.Errorf("L1 hit latency = %d, want %d", warm.Latency, h.L1.Config().Latency)
@@ -162,20 +162,20 @@ func TestHierarchyLevels(t *testing.T) {
 	h.Access(pa, 0, false) // fills all levels
 	h.L1.InvalidateAll()
 	r := h.Access(pa, 100, false)
-	if r.HitLevel != "L2" {
-		t.Errorf("after L1 flush, expect L2 hit, got %s", r.HitLevel)
+	if r.Level != LvlL2 {
+		t.Errorf("after L1 flush, expect L2 hit, got %s", r.Level)
 	}
 	h.L1.InvalidateAll()
 	h.L2.InvalidateAll()
 	r = h.Access(pa, 200, false)
-	if r.HitLevel != "LLC" {
-		t.Errorf("after L1+L2 flush, expect LLC hit, got %s", r.HitLevel)
+	if r.Level != LvlLLC {
+		t.Errorf("after L1+L2 flush, expect LLC hit, got %s", r.Level)
 	}
 	wantL2 := h.L1.Config().Latency + h.L2.Config().Latency
 	h.L1.InvalidateAll()
 	r = h.Access(pa, 300, false)
-	if r.HitLevel != "L2" || r.Latency != wantL2 {
-		t.Errorf("L2 hit latency = %d (%s), want %d (L2)", r.Latency, r.HitLevel, wantL2)
+	if r.Level != LvlL2 || r.Latency != wantL2 {
+		t.Errorf("L2 hit latency = %d (%s), want %d (L2)", r.Latency, r.Level, wantL2)
 	}
 }
 
@@ -184,14 +184,14 @@ func TestWarm(t *testing.T) {
 	pa := addr.PA(0x40_0000)
 	h.Warm(pa)
 	r := h.Access(pa, 0, false)
-	if r.HitLevel != "L1" {
-		t.Errorf("warmed line should hit L1, got %s", r.HitLevel)
+	if r.Level != LvlL1 {
+		t.Errorf("warmed line should hit L1, got %s", r.Level)
 	}
 	pa2 := addr.PA(0x50_0000)
 	h.WarmShared(pa2)
 	r = h.Access(pa2, 0, false)
-	if r.HitLevel != "L2" {
-		t.Errorf("shared-warmed line should hit L2, got %s", r.HitLevel)
+	if r.Level != LvlL2 {
+		t.Errorf("shared-warmed line should hit L2, got %s", r.Level)
 	}
 }
 

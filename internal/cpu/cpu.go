@@ -102,15 +102,17 @@ func (c *Core) Compute(n uint64) {
 // sequencing costs).
 func (c *Core) Stall(n uint64) { c.Now += n }
 
-// Access runs one memory access and advances time by the exposed stall.
-// The translation portion (L2-TLB probe, page walk, permission-table walk)
-// is always fully exposed; HideCycles only shave the data-side latency.
-func (c *Core) Access(va addr.VA, k perm.Access, size uint64) (mmu.Result, error) {
-	res, err := c.MMU.Access(va, k, c.Priv, c.Now)
-	if err != nil {
-		return res, err
+// Access runs one memory access, writing the MMU outcome into *out, and
+// advances time by the exposed stall. The translation portion (L2-TLB
+// probe, page walk, permission-table walk) is always fully exposed;
+// HideCycles only shave the data-side latency. The out-parameter mirrors
+// mmu.Access: the Result is built once in caller storage instead of being
+// copied up through every return.
+func (c *Core) Access(va addr.VA, k perm.Access, size uint64, out *mmu.Result) error {
+	if err := c.MMU.Access(va, k, c.Priv, c.Now, out); err != nil {
+		return err
 	}
-	stall := c.exposedLatency(res)
+	stall := c.exposedLatency(out)
 	c.Now += stall
 	if fastpath.Enabled {
 		*c.hMemOps++
@@ -120,12 +122,77 @@ func (c *Core) Access(va addr.VA, k perm.Access, size uint64) (mmu.Result, error
 		c.Counters.Add("cpu.mem_stall", stall)
 	}
 	_ = size
-	return res, nil
+	return nil
+}
+
+// BlockRef is one operation of a batched block: an optional run of ALU
+// instructions retired before one memory access. The Compute field lets a
+// converted workload loop keep its exact per-element instruction stream
+// (e.g. U64Array.Set retires 2 instructions before each store), so cycle
+// accounting is bit-identical to the scalar path.
+type BlockRef struct {
+	VA      addr.VA
+	Kind    perm.Access
+	Compute uint64
+}
+
+// RunBlock executes ops back to back at the core's current privilege,
+// writing per-op MMU results into out (len(out) must be >= len(ops)). It
+// returns the number of ops that completed without a fault. When n <
+// len(ops), out[n] holds the faulted result — its time and counters are
+// already applied, exactly as a scalar Access would have — and the caller
+// (normally the kernel's fault handler) decides how to resume.
+//
+// The batch is observably identical to the equivalent Compute/Access call
+// sequence; what it amortizes is per-call dispatch and the mem_ops /
+// mem_stall counter updates, which accumulate locally and post once.
+func (c *Core) RunBlock(ops []BlockRef, out []mmu.Result) (int, error) {
+	if len(out) < len(ops) {
+		panic("cpu: RunBlock out slice shorter than ops")
+	}
+	var memOps, memStall uint64
+	for i := range ops {
+		op := &ops[i]
+		if op.Compute > 0 {
+			c.Compute(op.Compute)
+		}
+		res := &out[i]
+		if err := c.MMU.Access(op.VA, op.Kind, c.Priv, c.Now, res); err != nil {
+			c.addMem(memOps, memStall)
+			return i, err
+		}
+		stall := c.exposedLatency(res)
+		c.Now += stall
+		memOps++
+		memStall += stall
+		if res.Faulted() {
+			c.addMem(memOps, memStall)
+			return i, nil
+		}
+	}
+	c.addMem(memOps, memStall)
+	return len(ops), nil
+}
+
+// addMem posts a block's accumulated memory-op counters. Counter values are
+// order-insensitive sums, so one Add per block is indistinguishable from
+// per-access increments in any snapshot taken between blocks.
+func (c *Core) addMem(ops, stall uint64) {
+	if ops == 0 {
+		return
+	}
+	if fastpath.Enabled {
+		*c.hMemOps += ops
+		*c.hMemStall += stall
+	} else {
+		c.Counters.Add("cpu.mem_ops", ops)
+		c.Counters.Add("cpu.mem_stall", stall)
+	}
 }
 
 // exposedLatency splits an MMU result into translation (exposed) and data
 // (partially hidden) components.
-func (c *Core) exposedLatency(res mmu.Result) uint64 {
+func (c *Core) exposedLatency(res *mmu.Result) uint64 {
 	translation := res.Latency - res.DataLatency
 	data := res.DataLatency
 	if c.Cfg.HideCycles >= data {
@@ -137,13 +204,13 @@ func (c *Core) exposedLatency(res mmu.Result) uint64 {
 }
 
 // Load performs a read at va.
-func (c *Core) Load(va addr.VA) (mmu.Result, error) { return c.Access(va, perm.Read, 8) }
+func (c *Core) Load(va addr.VA, out *mmu.Result) error { return c.Access(va, perm.Read, 8, out) }
 
 // Store performs a write at va.
-func (c *Core) Store(va addr.VA) (mmu.Result, error) { return c.Access(va, perm.Write, 8) }
+func (c *Core) Store(va addr.VA, out *mmu.Result) error { return c.Access(va, perm.Write, 8, out) }
 
 // Fetch performs an instruction fetch at va.
-func (c *Core) Fetch(va addr.VA) (mmu.Result, error) { return c.Access(va, perm.Fetch, 4) }
+func (c *Core) Fetch(va addr.VA, out *mmu.Result) error { return c.Access(va, perm.Fetch, 4, out) }
 
 // Seconds converts the accumulated cycles to seconds at the core clock.
 func (c *Core) Seconds() float64 {

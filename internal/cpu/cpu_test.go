@@ -4,10 +4,31 @@ import (
 	"testing"
 
 	"hpmp/internal/addr"
+	"hpmp/internal/mmu"
 	"hpmp/internal/perm"
 	"hpmp/internal/phys"
 	"hpmp/internal/pt"
 )
+
+// coreLoad/coreStore/coreFetch adapt the out-param Core helpers to the
+// value-returning shape the assertions below read naturally.
+func coreLoad(c *Core, va addr.VA) (mmu.Result, error) {
+	var res mmu.Result
+	err := c.Load(va, &res)
+	return res, err
+}
+
+func coreStore(c *Core, va addr.VA) (mmu.Result, error) {
+	var res mmu.Result
+	err := c.Store(va, &res)
+	return res, err
+}
+
+func coreFetch(c *Core, va addr.VA) (mmu.Result, error) {
+	var res mmu.Result
+	err := c.Fetch(va, &res)
+	return res, err
+}
 
 // setup builds a machine with a flat identity-ish mapping and a PMP segment
 // over everything (the non-secure baseline).
@@ -52,7 +73,7 @@ func TestComputeAdvancesByIPC(t *testing.T) {
 func TestLoadAdvancesTime(t *testing.T) {
 	m, va := setup(t, RocketPlatform())
 	before := m.Core.Now
-	res, err := m.Core.Load(va)
+	res, err := coreLoad(m.Core, va)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,15 +91,15 @@ func TestBOOMHidesDataLatencyOnly(t *testing.T) {
 	mB, vaB := setup(t, BOOMPlatform())
 
 	// Warm both TLBs and caches.
-	mR.Core.Load(vaR)
-	mB.Core.Load(vaB)
+	coreLoad(mR.Core, vaR)
+	coreLoad(mB.Core, vaB)
 
 	// L1-hit loads: BOOM hides them entirely, Rocket pays L1 latency.
 	r0 := mR.Core.Now
-	mR.Core.Load(vaR)
+	coreLoad(mR.Core, vaR)
 	rockStall := mR.Core.Now - r0
 	b0 := mB.Core.Now
-	mB.Core.Load(vaB)
+	coreLoad(mB.Core, vaB)
 	boomStall := mB.Core.Now - b0
 	if boomStall != 0 {
 		t.Errorf("BOOM should hide an L1 hit, stalled %d", boomStall)
@@ -90,9 +111,9 @@ func TestBOOMHidesDataLatencyOnly(t *testing.T) {
 	// TLB-miss walks are exposed on both.
 	mB.MMU.FlushTLB()
 	b0 = mB.Core.Now
-	res, _ := mB.Core.Load(vaB)
+	res, _ := coreLoad(mB.Core, vaB)
 	walkStall := mB.Core.Now - b0
-	if res.TLBHit != "miss" {
+	if res.TLBHit != mmu.TLBMiss {
 		t.Fatalf("expected a walk, got %s", res.TLBHit)
 	}
 	translation := res.Latency - res.DataLatency
@@ -104,7 +125,7 @@ func TestBOOMHidesDataLatencyOnly(t *testing.T) {
 
 func TestStorePath(t *testing.T) {
 	m, va := setup(t, BOOMPlatform())
-	res, err := m.Core.Store(va)
+	res, err := coreStore(m.Core, va)
 	if err != nil || res.Faulted() {
 		t.Fatalf("store: %+v %v", res, err)
 	}
@@ -115,14 +136,14 @@ func TestStorePath(t *testing.T) {
 
 func TestColdReset(t *testing.T) {
 	m, va := setup(t, RocketPlatform())
-	m.Core.Load(va)
-	res, _ := m.Core.Load(va)
-	if res.TLBHit != "L1" {
+	coreLoad(m.Core, va)
+	res, _ := coreLoad(m.Core, va)
+	if res.TLBHit != mmu.TLBHitL1 {
 		t.Fatal("expected warm TLB")
 	}
 	m.ColdReset()
-	res, _ = m.Core.Load(va)
-	if res.TLBHit != "miss" {
+	res, _ = coreLoad(m.Core, va)
+	if res.TLBHit != mmu.TLBMiss {
 		t.Errorf("after ColdReset access must walk, got %s", res.TLBHit)
 	}
 	if res.Walk.PTRefs == 0 {
@@ -140,7 +161,7 @@ func TestNoIsolationMachine(t *testing.T) {
 	va := addr.VA(0x1000_0000)
 	tbl.Map(va, 0x80_0000, perm.RW, true)
 	m.MMU.SetRoot(tbl.Root())
-	res, err := m.Core.Load(va)
+	res, err := coreLoad(m.Core, va)
 	if err != nil || res.Faulted() {
 		t.Fatalf("%+v %v", res, err)
 	}
@@ -165,7 +186,7 @@ func TestDefaultSecureBootPosture(t *testing.T) {
 	va := addr.VA(0x1000_0000)
 	tbl.Map(va, 0x80_0000, perm.RW, true)
 	m.MMU.SetRoot(tbl.Root())
-	res, err := m.Core.Load(va)
+	res, err := coreLoad(m.Core, va)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,19 +241,19 @@ func TestFetchPath(t *testing.T) {
 	}
 	m.MMU.SetRoot(tbl.Root())
 	m.MMU.FlushTLB()
-	res, err := m.Core.Fetch(code)
+	res, err := coreFetch(m.Core, code)
 	if err != nil || res.Faulted() {
 		t.Fatalf("fetch: %+v %v", res, err)
 	}
 	// Fetches use the ITLB: a repeat hits it.
-	res, _ = m.Core.Fetch(code)
-	if res.TLBHit != "L1" {
+	res, _ = coreFetch(m.Core, code)
+	if res.TLBHit != mmu.TLBHitL1 {
 		t.Errorf("second fetch should hit the ITLB, got %s", res.TLBHit)
 	}
 	// Fetching a non-executable page prot-faults.
 	data := addr.VA(0x41_0000)
 	tbl.Map(data, 0x91_0000, perm.RW, true)
-	res, _ = m.Core.Fetch(data)
+	res, _ = coreFetch(m.Core, data)
 	if !res.ProtFault {
 		t.Errorf("fetch from rw- page must prot-fault: %+v", res)
 	}

@@ -31,6 +31,14 @@ import (
 	"hpmp/internal/virt"
 )
 
+// mmuAccess adapts the out-param MMU.Access to the value-returning shape the
+// tests were written against.
+func mmuAccess(m *mmu.MMU, va addr.VA, k perm.Access, priv perm.Priv, now uint64) (mmu.Result, error) {
+	var res mmu.Result
+	err := m.Access(va, k, priv, now, &res)
+	return res, err
+}
+
 // diffRun captures everything observable about one workload run.
 type diffRun struct {
 	results  []mmu.Result
@@ -106,7 +114,7 @@ func runDifferentialWorkload(t *testing.T, mode monitor.Mode) diffRun {
 	if err := env.Touch(heap, addr.PageSize); err != nil {
 		t.Fatal(err)
 	}
-	res, err := mach.MMU.Access(heap, perm.Read, perm.U, mach.Core.Now)
+	res, err := mmuAccess(mach.MMU, heap, perm.Read, perm.U, mach.Core.Now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +155,7 @@ func runDifferentialWorkload(t *testing.T, mode monitor.Mode) diffRun {
 			stride := addr.VA(1+next()%7) * addr.PageSize
 			va := heap + addr.VA(next()%heapPages)*addr.PageSize
 			for j := 0; j < 4; j++ {
-				record(mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now))
+				record(mmuAccess(mach.MMU, va, perm.Read, perm.U, mach.Core.Now))
 				va = heap + (va-heap+stride)%(heapPages*addr.PageSize)
 			}
 		case r < 80:
@@ -159,11 +167,11 @@ func runDifferentialWorkload(t *testing.T, mode monitor.Mode) diffRun {
 			// Faults: translation outcomes must match bit for bit.
 			switch next() % 3 {
 			case 0:
-				record(mach.MMU.Access(roVA, perm.Write, perm.U, mach.Core.Now))
+				record(mmuAccess(mach.MMU, roVA, perm.Write, perm.U, mach.Core.Now))
 			case 1:
-				record(mach.MMU.Access(evilVA, perm.Read, perm.U, mach.Core.Now))
+				record(mmuAccess(mach.MMU, evilVA, perm.Read, perm.U, mach.Core.Now))
 			default:
-				record(mach.MMU.Access(unmappedVA, perm.Read, perm.U, mach.Core.Now))
+				record(mmuAccess(mach.MMU, unmappedVA, perm.Read, perm.U, mach.Core.Now))
 			}
 		case r < 94:
 			// TLB shootdowns reset the memo; a single-page flush then
@@ -173,7 +181,7 @@ func runDifferentialWorkload(t *testing.T, mode monitor.Mode) diffRun {
 			} else {
 				va := heap + addr.VA(next()%heapPages)*addr.PageSize
 				mach.MMU.FlushVA(va)
-				record(mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now))
+				record(mmuAccess(mach.MMU, va, perm.Read, perm.U, mach.Core.Now))
 			}
 		default:
 			env.Compute(1 + next()%40)

@@ -62,7 +62,7 @@ func TestHostCannotMapEnclaveMemory(t *testing.T) {
 		if err := p.Table.Map(evil, secret.Base, perm.RW, true); err != nil {
 			t.Fatal(err)
 		}
-		res, err := mach.MMU.Access(evil, perm.Read, perm.U, mach.Core.Now)
+		res, err := mmuAccess(mach.MMU, evil, perm.Read, perm.U, mach.Core.Now)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +94,7 @@ func TestEnclaveCannotReachMonitor(t *testing.T) {
 	if err := p.Table.Map(evil, 0x10_0000 /* inside the monitor region */, perm.RW, true); err != nil {
 		t.Fatal(err)
 	}
-	res, err := mach.MMU.Access(evil, perm.Read, perm.U, mach.Core.Now)
+	res, err := mmuAccess(mach.MMU, evil, perm.Read, perm.U, mach.Core.Now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,12 +120,12 @@ func TestWXSeparationViaTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reads pass…
-	res, _ := mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now)
+	res, _ := mmuAccess(mach.MMU, va, perm.Read, perm.U, mach.Core.Now)
 	if res.Faulted() {
 		t.Fatalf("read through rw- grant should pass: %+v", res)
 	}
 	// …fetch is blocked by the physical permission.
-	res, _ = mach.MMU.Access(va, perm.Fetch, perm.U, mach.Core.Now)
+	res, _ = mmuAccess(mach.MMU, va, perm.Fetch, perm.U, mach.Core.Now)
 	if !res.AccessFault {
 		t.Errorf("execute from rw- physical grant must fault: %+v", res)
 	}
@@ -156,7 +156,7 @@ func TestInlinedPermRevokedByFlush(t *testing.T) {
 	if _, _, err := mon.AddRegion(enc, frame, perm.RWX, monitor.LabelSlow); err != nil {
 		t.Fatal(err)
 	}
-	res, err := mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now)
+	res, err := mmuAccess(mach.MMU, va, perm.Read, perm.U, mach.Core.Now)
 	if err != nil {
 		t.Fatal(err)
 	}

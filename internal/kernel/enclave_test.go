@@ -56,7 +56,7 @@ func TestSpawnEnclaveLifecycle(t *testing.T) {
 	// Under HPMP the enclave's PT pool rides a segment: a cold-TLB access
 	// costs 6 refs, as for the host (Fig. 4, enclave side).
 	k.Mach.MMU.FlushTLB()
-	res, err := k.Mach.MMU.Access(p.Heap(), perm.Read, perm.U, k.Mach.Core.Now)
+	res, err := mmuAccess(k.Mach.MMU, p.Heap(), perm.Read, perm.U, k.Mach.Core.Now)
 	if err != nil || res.Faulted() {
 		t.Fatalf("%+v %v", res, err)
 	}
@@ -103,7 +103,7 @@ func TestEnclaveIsolationFromHostProcesses(t *testing.T) {
 	if err := hostEnv.P.Table.Map(evil, secretPA.PageBase(), perm.RW, true); err != nil {
 		t.Fatal(err)
 	}
-	res, err := k.Mach.MMU.Access(evil, perm.Read, perm.U, k.Mach.Core.Now)
+	res, err := mmuAccess(k.Mach.MMU, evil, perm.Read, perm.U, k.Mach.Core.Now)
 	if err != nil {
 		t.Fatal(err)
 	}

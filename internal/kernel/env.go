@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"hpmp/internal/addr"
+	"hpmp/internal/cpu"
+	"hpmp/internal/mmu"
 	"hpmp/internal/perm"
 )
 
@@ -16,6 +18,37 @@ import (
 type Env struct {
 	K *Kernel
 	P *Process
+
+	// Reusable scratch for batched block runs (Block/RunBlock): allocated
+	// once per Env and recycled, so converted workload loops stay
+	// allocation-light no matter how many blocks they submit.
+	blockOps []cpu.BlockRef
+	blockRes []mmu.Result
+}
+
+// BlockMax is the largest block Env's batched helpers submit at once; it
+// bounds the scratch footprint while still amortizing per-call overhead
+// across hundreds of references.
+const BlockMax = 256
+
+// Block returns scratch ops/results slices of length n (reused across
+// calls — the previous block's contents are overwritten). Callers fill the
+// ops and hand both slices to RunBlock.
+func (e *Env) Block(n int) ([]cpu.BlockRef, []mmu.Result) {
+	if cap(e.blockOps) < n {
+		e.blockOps = make([]cpu.BlockRef, n)
+		e.blockRes = make([]mmu.Result, n)
+	}
+	return e.blockOps[:n], e.blockRes[:n]
+}
+
+// RunBlock executes ops as one batched block at user privilege with the
+// same demand-paging fault handling as the scalar Load/Store helpers,
+// writing per-op results into out. Ops within a block must touch disjoint
+// locations (see Kernel.accessBlock); the converted loops in
+// internal/workloads all do.
+func (e *Env) RunBlock(ops []cpu.BlockRef, out []mmu.Result) error {
+	return e.K.accessBlock(ops, out, perm.U)
 }
 
 // NewEnv returns the environment of a process (switching to it if needed).
@@ -90,23 +123,38 @@ func (e *Env) Store8(va addr.VA, v byte) error {
 
 // chunks iterates [va, va+n) in cache-line-bounded pieces, issuing one
 // timed access per line and calling f with the translated PA of each piece.
+// Pieces are submitted in BlockMax-sized batched blocks: the timed accesses
+// of a block run first, then f is applied to each piece in order. Pieces
+// are disjoint, so applying the functional copies after the block's timed
+// accesses is indistinguishable from interleaving them.
 func (e *Env) chunks(va addr.VA, n uint64, kind perm.Access, f func(pa addr.PA, size uint64) error) error {
 	const line = 64
+	var sizes [BlockMax]uint64
 	for n > 0 {
-		pieceEnd := (uint64(va)/line + 1) * line
-		size := pieceEnd - uint64(va)
-		if size > n {
-			size = n
+		ops, out := e.Block(BlockMax)
+		nOps := 0
+		pieceVA, rem := va, n
+		for rem > 0 && nOps < BlockMax {
+			pieceEnd := (uint64(pieceVA)/line + 1) * line
+			size := pieceEnd - uint64(pieceVA)
+			if size > rem {
+				size = rem
+			}
+			ops[nOps] = cpu.BlockRef{VA: pieceVA, Kind: kind}
+			sizes[nOps] = size
+			nOps++
+			pieceVA += addr.VA(size)
+			rem -= size
 		}
-		pa, err := e.K.access(va, kind, perm.U)
-		if err != nil {
+		if err := e.RunBlock(ops[:nOps], out[:nOps]); err != nil {
 			return err
 		}
-		if err := f(pa, size); err != nil {
-			return err
+		for i := 0; i < nOps; i++ {
+			if err := f(out[i].PA, sizes[i]); err != nil {
+				return err
+			}
 		}
-		va += addr.VA(size)
-		n -= size
+		va, n = pieceVA, rem
 	}
 	return nil
 }

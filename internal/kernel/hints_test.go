@@ -55,7 +55,7 @@ func TestHintLifecycle(t *testing.T) {
 	// Under HPMP the hinted data page is now segment-checked: a cold-TLB
 	// access costs 4 references (like pure PMP), not 6.
 	k.Mach.MMU.FlushTLB()
-	res, err := k.Mach.MMU.Access(buf, perm.Read, perm.U, k.Mach.Core.Now)
+	res, err := mmuAccess(k.Mach.MMU, buf, perm.Read, perm.U, k.Mach.Core.Now)
 	if err != nil || res.Faulted() {
 		t.Fatalf("%+v %v", res, err)
 	}
@@ -68,7 +68,7 @@ func TestHintLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	k.Mach.MMU.FlushTLB()
-	res, _ = k.Mach.MMU.Access(buf, perm.Read, perm.U, k.Mach.Core.Now)
+	res, _ = mmuAccess(k.Mach.MMU, buf, perm.Read, perm.U, k.Mach.Core.Now)
 	if res.TotalRefs() != 6 {
 		t.Errorf("after delete = %d refs, want 6 (table-checked data)", res.TotalRefs())
 	}

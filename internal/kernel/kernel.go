@@ -18,6 +18,7 @@ import (
 
 	"hpmp/internal/addr"
 	"hpmp/internal/cpu"
+	"hpmp/internal/mmu"
 	"hpmp/internal/monitor"
 	"hpmp/internal/perm"
 	"hpmp/internal/phys"
@@ -268,9 +269,9 @@ func (k *Kernel) access(va addr.VA, kind perm.Access, priv perm.Priv) (addr.PA, 
 	savedPriv := k.Mach.Core.Priv
 	k.Mach.Core.Priv = priv
 	defer func() { k.Mach.Core.Priv = savedPriv }()
+	var res mmu.Result
 	for attempt := 0; attempt < 3; attempt++ {
-		res, err := k.Mach.Core.Access(va, kind, 8)
-		if err != nil {
+		if err := k.Mach.Core.Access(va, kind, 8, &res); err != nil {
 			return 0, err
 		}
 		if res.PageFault {
@@ -296,4 +297,67 @@ func (k *Kernel) access(va addr.VA, kind perm.Access, priv perm.Priv) (addr.PA, 
 		return res.PA, nil
 	}
 	return 0, fmt.Errorf("kernel: access at %v did not settle after fault handling", va)
+}
+
+// accessBlock runs ops as one batched block at the given privilege, with
+// the same demand-paging fault handling access applies per reference: a
+// page fault is resolved and the block resumes at the faulted op, a write
+// denied by protection or isolation gets one copy-on-write attempt, and an
+// op that still faults after three tries aborts. On resume the faulted
+// op's Compute count is zeroed — those instructions retired before the
+// faulting access and must not retire twice.
+//
+// Ordering caveat (why this stays internal plus the Env wrappers): the
+// functional effect of each op is applied by the caller after the block
+// returns, so ops inside one block must not depend on memory written by an
+// earlier op of the same block. Every converted loop (array fills, line
+// chunk copies) touches disjoint locations per op.
+func (k *Kernel) accessBlock(ops []cpu.BlockRef, out []mmu.Result, priv perm.Priv) error {
+	savedPriv := k.Mach.Core.Priv
+	k.Mach.Core.Priv = priv
+	defer func() { k.Mach.Core.Priv = savedPriv }()
+	i := 0
+	faultAt, attempts := -1, 0
+	for i < len(ops) {
+		n, err := k.Mach.Core.RunBlock(ops[i:], out[i:])
+		if err != nil {
+			return err
+		}
+		i += n
+		if i == len(ops) {
+			return nil
+		}
+		// ops[i] faulted; out[i] holds the faulted result.
+		if i == faultAt {
+			attempts++
+		} else {
+			faultAt, attempts = i, 1
+		}
+		op := &ops[i]
+		res := &out[i]
+		switch {
+		case res.PageFault:
+			if err := k.HandleFault(k.Current(), op.VA, op.Kind); err != nil {
+				return err
+			}
+		case op.Kind == perm.Write:
+			// Possible copy-on-write page.
+			handled, err := k.handleCoW(k.Current(), op.VA)
+			if err != nil {
+				return err
+			}
+			if !handled {
+				return fmt.Errorf("kernel: fault at %v (%v, prot=%v access=%v)",
+					op.VA, op.Kind, res.ProtFault, res.AccessFault)
+			}
+		default:
+			return fmt.Errorf("kernel: fault at %v (%v, prot=%v access=%v)",
+				op.VA, op.Kind, res.ProtFault, res.AccessFault)
+		}
+		if attempts >= 3 {
+			return fmt.Errorf("kernel: access at %v did not settle after fault handling", op.VA)
+		}
+		op.Compute = 0
+	}
+	return nil
 }

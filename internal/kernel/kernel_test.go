@@ -5,9 +5,18 @@ import (
 
 	"hpmp/internal/addr"
 	"hpmp/internal/cpu"
+	"hpmp/internal/mmu"
 	"hpmp/internal/monitor"
 	"hpmp/internal/perm"
 )
+
+// mmuAccess adapts the out-param MMU.Access to a value-returning form for
+// test assertions.
+func mmuAccess(m *mmu.MMU, va addr.VA, k perm.Access, priv perm.Priv, now uint64) (mmu.Result, error) {
+	var res mmu.Result
+	err := m.Access(va, k, priv, now, &res)
+	return res, err
+}
 
 const memSize = 512 * addr.MiB
 
@@ -144,7 +153,7 @@ func TestWalkRefsMatchModeThroughKernel(t *testing.T) {
 		}
 		k.Mach.MMU.FlushTLB()
 		k.Mach.Core.Priv = perm.U
-		res, err := k.Mach.MMU.Access(va, perm.Read, perm.U, k.Mach.Core.Now)
+		res, err := mmuAccess(k.Mach.MMU, va, perm.Read, perm.U, k.Mach.Core.Now)
 		if err != nil || res.Faulted() {
 			t.Fatalf("%v: %+v %v", mode, res, err)
 		}

@@ -12,6 +12,7 @@ package mmu
 
 import (
 	"fmt"
+	"math"
 
 	"hpmp/internal/addr"
 	"hpmp/internal/cache"
@@ -83,7 +84,7 @@ type MMU struct {
 	// cache.Level, replacing the per-access "mmu.data_"+HitLevel string
 	// concatenation (one heap allocation per simulated data access).
 	hData                                  [cache.NumLevels]*uint64
-	hTLBFlush                              *uint64
+	hTLBFlush, hTLBFlushVA                 *uint64
 	hAccessFaultPT, hPageFault, hProtFault *uint64
 	hAccessFaultData, hAccessFaultInline   *uint64
 
@@ -115,6 +116,7 @@ func New(cfg Config, hier *cache.Hierarchy, mem *phys.Memory, checker ptw.Checke
 		m.hData[lvl] = m.Counters.Handle("mmu.data_" + lvl.String())
 	}
 	m.hTLBFlush = m.Counters.Handle("mmu.tlb_flush")
+	m.hTLBFlushVA = m.Counters.Handle("mmu.tlb_flush_va")
 	m.hAccessFaultPT = m.Counters.Handle("mmu.access_fault_pt")
 	m.hPageFault = m.Counters.Handle("mmu.page_fault")
 	m.hProtFault = m.Counters.Handle("mmu.prot_fault")
@@ -152,6 +154,10 @@ func (m *MMU) FlushTLB() {
 }
 
 // FlushVA invalidates one page's translation (sfence.vma with an address).
+// It bumps mmu.tlb_flush_va so per-address shootdown storms are visible in
+// metrics the same way full flushes are (FlushTLB / mmu.tlb_flush) — the
+// cost matters doubly here because even the single-address form empties the
+// whole PWC.
 func (m *MMU) FlushVA(va addr.VA) {
 	vpn := va.Frame()
 	m.ITLB.FlushVPN(vpn)
@@ -159,6 +165,36 @@ func (m *MMU) FlushVA(va addr.VA) {
 	m.STLB.FlushVPN(vpn)
 	// The PWC is conservatively flushed, as simple hardware does.
 	m.Walker.FlushPWC()
+	m.bump(m.hTLBFlushVA, "mmu.tlb_flush_va")
+}
+
+// TLBLevel says which TLB level (if any) served an access's translation.
+// It replaces the old `TLBHit string` field: the three outcomes were
+// interned strings, but carrying a 16-byte string header through every
+// Result copy kept the struct in duffcopy territory; a one-byte enum
+// rendered back to "L1"/"L2"/"miss" at the edges (String, AccessEvent)
+// models the same fact for free. The zero value is TLBMiss, matching a
+// zeroed Result before any lookup succeeded.
+type TLBLevel uint8
+
+const (
+	// TLBMiss: both TLB levels missed and a hardware walk ran.
+	TLBMiss TLBLevel = iota
+	// TLBHitL1 / TLBHitL2: the translation came from that TLB level.
+	TLBHitL1
+	TLBHitL2
+)
+
+// String renders the level in the legacy trace vocabulary.
+func (l TLBLevel) String() string {
+	switch l {
+	case TLBHitL1:
+		return "L1"
+	case TLBHitL2:
+		return "L2"
+	default:
+		return "miss"
+	}
 }
 
 // Result describes one access through the MMU.
@@ -166,7 +202,7 @@ type Result struct {
 	PA      addr.PA
 	Latency uint64
 
-	TLBHit    string // "L1", "L2", or "miss"
+	TLBHit    TLBLevel
 	Walk      ptw.Result
 	Walked    bool
 	PageFault bool
@@ -195,41 +231,106 @@ func (r Result) TotalRefs() int {
 func (r Result) Faulted() bool { return r.PageFault || r.ProtFault || r.AccessFault }
 
 // Access runs one data access (Read/Write) or instruction fetch at va from
-// privilege priv, starting at core-cycle now. On success the data reference
-// itself is performed through the cache hierarchy.
-func (m *MMU) Access(va addr.VA, k perm.Access, priv perm.Priv, now uint64) (Result, error) {
-	res, err := m.accessInner(va, k, priv, now)
+// privilege priv, starting at core-cycle now, writing the outcome into
+// *out. On success the data reference itself is performed through the cache
+// hierarchy.
+//
+// The out-parameter form (rather than returning Result) is deliberate: the
+// struct is large enough that returning it by value through
+// Access → accessInner → finishFromTLB showed up as ~24% of simulator CPU
+// in runtime.duffcopy/duffzero; building the result in the caller's storage
+// removes every intermediate copy.
+func (m *MMU) Access(va addr.VA, k perm.Access, priv perm.Priv, now uint64, out *Result) error {
+	*out = Result{}
+	err := m.accessInner(va, k, priv, now, out)
 	if err == nil {
-		m.LatHist.Observe(res.Latency)
+		m.LatHist.Observe(out.Latency)
 		if m.Trace != nil {
-			m.Trace.Emit(AccessEvent(va, k, res))
+			m.Trace.Emit(AccessEvent(va, k, out))
 		}
 		if m.Observer != nil {
-			m.Observer(va, k, res)
+			m.Observer(va, k, *out)
 		}
 	}
-	return res, err
+	return err
+}
+
+// AccessReq is one reference of a batched access stream.
+type AccessReq struct {
+	VA   addr.VA
+	Kind perm.Access
+	Priv perm.Priv
+}
+
+// AccessBatch runs len(refs) accesses back to back, advancing the issue
+// cycle by each access's latency (the same serial-walk idiom the probe
+// loops in internal/bench use), and returns the cycle after the last one.
+// out[i] receives refs[i]'s result; out must be at least as long as refs.
+//
+// The batch is observably identical to len(refs) sequential Access calls —
+// faulted references record their fault in out[i] and the batch continues,
+// exactly as a caller-driven loop would. What batching buys is amortization:
+// the trace/observer pointer tests are hoisted out of the loop and the
+// per-call result zeroing and dispatch overhead collapse into one pass.
+func (m *MMU) AccessBatch(refs []AccessReq, out []Result, now uint64) (uint64, error) {
+	if len(out) < len(refs) {
+		panic("mmu: AccessBatch out slice shorter than refs")
+	}
+	traced := m.Trace != nil
+	observed := m.Observer != nil
+	for i := range refs {
+		r := &refs[i]
+		res := &out[i]
+		*res = Result{}
+		if err := m.accessInner(r.VA, r.Kind, r.Priv, now, res); err != nil {
+			return now, err
+		}
+		m.LatHist.Observe(res.Latency)
+		if traced {
+			m.Trace.Emit(AccessEvent(r.VA, r.Kind, res))
+		}
+		if observed {
+			m.Observer(r.VA, r.Kind, *res)
+		}
+		now += res.Latency
+	}
+	return now, nil
+}
+
+// satRefs clamps a reference count to obs.Event's uint16 fields. Plain
+// uint16(n) conversions silently wrap: a pathological walk past 65535
+// references (deep nested permission tables, or a synthetic stress Result)
+// would report a tiny count instead of a huge one. Saturating keeps the
+// field honest at the extreme — 65535 reads as "at least this many".
+func satRefs(n int) uint16 {
+	if n >= math.MaxUint16 {
+		return math.MaxUint16
+	}
+	if n < 0 {
+		return 0
+	}
+	return uint16(n)
 }
 
 // AccessEvent maps a completed access onto the shared trace record. The MMU
 // calls it only with a tracer attached, so its cost never reaches the
 // disabled hot path; internal/trace reuses it so every consumer agrees on
 // the Result → Event mapping.
-func AccessEvent(va addr.VA, k perm.Access, res Result) obs.Event {
+func AccessEvent(va addr.VA, k perm.Access, res *Result) obs.Event {
 	ev := obs.Event{
 		Kind:    obs.KindAccess,
 		Access:  k,
 		VA:      va,
 		PA:      res.PA,
 		Level:   -1,
-		Refs:    uint16(res.TotalRefs()),
-		ChkRefs: uint16(res.Walk.PTCheckRefs + res.DataCheckRefs),
+		Refs:    satRefs(res.TotalRefs()),
+		ChkRefs: satRefs(res.Walk.PTCheckRefs + res.DataCheckRefs),
 		Cycles:  res.Latency,
 	}
 	switch res.TLBHit {
-	case "L1":
+	case TLBHitL1:
 		ev.TLB = obs.TLBL1
-	case "L2":
+	case TLBHitL2:
 		ev.TLB = obs.TLBL2
 	default:
 		ev.TLB = obs.TLBMiss
@@ -245,8 +346,11 @@ func AccessEvent(va addr.VA, k perm.Access, res Result) obs.Event {
 	return ev
 }
 
-func (m *MMU) accessInner(va addr.VA, k perm.Access, priv perm.Priv, now uint64) (Result, error) {
-	var res Result
+// accessInner fills *res (pre-zeroed by the caller) with one access's
+// outcome. It never copies Result: TLB-hit completion and the data access
+// mutate res in place, and the walk sub-result is built directly in
+// res.Walk via WalkInto.
+func (m *MMU) accessInner(va addr.VA, k perm.Access, priv perm.Priv, now uint64, res *Result) error {
 	vpn := va.Frame()
 	l1 := m.DTLB
 	if k == perm.Fetch {
@@ -255,42 +359,40 @@ func (m *MMU) accessInner(va addr.VA, k perm.Access, priv perm.Priv, now uint64)
 
 	// 1. L1 TLB.
 	if e, ok := l1.Lookup(vpn); ok {
-		res.TLBHit = "L1"
-		return m.finishFromTLB(&res, e, va, k, priv, now)
+		res.TLBHit = TLBHitL1
+		return m.finishFromTLB(res, e, va, k, priv, now)
 	}
 	// 2. L2 TLB.
 	res.Latency += m.STLB.Latency
 	if e, ok := m.STLB.Lookup(vpn); ok {
-		res.TLBHit = "L2"
-		l1.Insert(e)
-		return m.finishFromTLB(&res, e, va, k, priv, now)
+		res.TLBHit = TLBHitL2
+		l1.Insert(*e)
+		return m.finishFromTLB(res, e, va, k, priv, now)
 	}
-	res.TLBHit = "miss"
+	res.TLBHit = TLBMiss
 
 	// 3. Hardware walk.
 	res.Walked = true
 	res.Latency += m.cfg.WalkerBaseline
-	walk, err := m.Walker.Walk(m.Root, va, now+res.Latency)
-	if err != nil {
-		return res, err
+	if err := m.Walker.WalkInto(m.Root, va, now+res.Latency, &res.Walk); err != nil {
+		return err
 	}
-	res.Walk = walk
-	res.Latency += walk.Latency
-	if walk.AccessFault {
+	res.Latency += res.Walk.Latency
+	if res.Walk.AccessFault {
 		res.AccessFault = true
 		m.bump(m.hAccessFaultPT, "mmu.access_fault_pt")
-		return res, nil
+		return nil
 	}
-	if walk.PageFault {
+	if res.Walk.PageFault {
 		res.PageFault = true
 		m.bump(m.hPageFault, "mmu.page_fault")
-		return res, nil
+		return nil
 	}
-	tr := walk.Translation
+	tr := res.Walk.Translation
 	if !m.pagePermOK(tr.Perm, tr.User, k, priv) {
 		res.ProtFault = true
 		m.bump(m.hProtFault, "mmu.prot_fault")
-		return res, nil
+		return nil
 	}
 
 	// 4. Physical check of the data address.
@@ -298,14 +400,14 @@ func (m *MMU) accessInner(va addr.VA, k perm.Access, priv perm.Priv, now uint64)
 	if m.Checker != nil {
 		chk, err := m.Checker.Check(tr.PA.PageBase(), addr.PageSize, k, priv, now+res.Latency)
 		if err != nil {
-			return res, err
+			return err
 		}
 		res.Latency += chk.Latency
 		res.DataCheckRefs += chk.MemRefs
 		if !chk.Allowed {
 			res.AccessFault = true
 			m.bump(m.hAccessFaultData, "mmu.access_fault_data")
-			return res, nil
+			return nil
 		}
 		physPerm = chk.PermFound
 	}
@@ -324,27 +426,28 @@ func (m *MMU) accessInner(va addr.VA, k perm.Access, priv perm.Priv, now uint64)
 
 	// 6. The data reference (tr.PA already includes the page offset).
 	res.PA = tr.PA
-	m.dataAccess(&res, k, now)
-	return res, nil
+	m.dataAccess(res, k, now)
+	return nil
 }
 
 // finishFromTLB completes an access that hit a TLB: both the page permission
 // and the inlined physical permission are checked for free, then the data
-// reference runs.
-func (m *MMU) finishFromTLB(res *Result, e tlb.Entry, va addr.VA, k perm.Access, priv perm.Priv, now uint64) (Result, error) {
+// reference runs. e aliases TLB storage (see tlb.L1.Lookup) and is only
+// read; everything lands in *res.
+func (m *MMU) finishFromTLB(res *Result, e *tlb.Entry, va addr.VA, k perm.Access, priv perm.Priv, now uint64) error {
 	if !m.pagePermOK(e.Perm, e.User, k, priv) {
 		res.ProtFault = true
 		m.bump(m.hProtFault, "mmu.prot_fault")
-		return *res, nil
+		return nil
 	}
 	if !e.PhysPerm.Allows(k) {
 		res.AccessFault = true
 		m.bump(m.hAccessFaultInline, "mmu.access_fault_inline")
-		return *res, nil
+		return nil
 	}
 	res.PA = addr.PA(e.PFN<<addr.PageShift) + addr.PA(va.Offset())
 	m.dataAccess(res, k, now)
-	return *res, nil
+	return nil
 }
 
 func (m *MMU) dataAccess(res *Result, k perm.Access, now uint64) {
@@ -355,7 +458,7 @@ func (m *MMU) dataAccess(res *Result, k perm.Access, now uint64) {
 	if fastpath.Enabled {
 		*m.hData[r.Level]++
 	} else {
-		m.Counters.Inc("mmu.data_" + r.HitLevel)
+		m.Counters.Inc("mmu.data_" + r.Level.String())
 	}
 }
 
@@ -380,10 +483,14 @@ func (m *MMU) pagePermOK(p perm.Perm, user bool, k perm.Access, priv perm.Priv) 
 }
 
 // Translate resolves va without performing the data reference and without
-// filling TLBs — the monitor and kernel use it for bookkeeping.
+// filling TLBs — the monitor and kernel use it for bookkeeping. The walk
+// runs at now=0 outside any timed instruction stream, so it deliberately
+// skips the ptw.walk_latency histogram (WalkBookkeeping): those time-zero
+// samples would skew the hardware-walk latency distribution. Walk counters
+// still advance — the PT references are real work.
 func (m *MMU) Translate(va addr.VA) (addr.PA, error) {
-	walk, err := m.Walker.Walk(m.Root, va, 0)
-	if err != nil {
+	var walk ptw.Result
+	if err := m.Walker.WalkBookkeeping(m.Root, va, 0, &walk); err != nil {
 		return 0, err
 	}
 	if walk.PageFault || walk.AccessFault {

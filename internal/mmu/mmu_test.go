@@ -101,6 +101,14 @@ func newRig(t *testing.T, mode isoMode) *rig {
 	return &rig{mem: mem, hier: hier, mmu: m, tbl: tbl, ptRegion: ptRegion, dataAlloc: dataAlloc}
 }
 
+// access adapts the out-param MMU.Access to the value-returning shape the
+// assertions below read naturally.
+func (r *rig) access(va addr.VA, k perm.Access, priv perm.Priv, now uint64) (Result, error) {
+	var res Result
+	err := r.mmu.Access(va, k, priv, now, &res)
+	return res, err
+}
+
 func (r *rig) mapPage(t *testing.T, va addr.VA, p perm.Perm, user bool) addr.PA {
 	t.Helper()
 	pa, err := r.dataAlloc.Alloc()
@@ -132,7 +140,7 @@ func TestFigure2ReferenceCounts(t *testing.T) {
 			r.mapPage(t, va, perm.RW, true)
 			r.mmu.FlushTLB() // cold TLB: full walk
 
-			res, err := r.mmu.Access(va, perm.Read, perm.U, 0)
+			res, err := r.access(va, perm.Read, perm.U, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,14 +164,14 @@ func TestTLBHitSkipsChecker(t *testing.T) {
 		r := newRig(t, mode)
 		va := addr.VA(0x4000_0000)
 		r.mapPage(t, va, perm.RW, true)
-		if _, err := r.mmu.Access(va, perm.Read, perm.U, 0); err != nil {
+		if _, err := r.access(va, perm.Read, perm.U, 0); err != nil {
 			t.Fatal(err)
 		}
-		res, err := r.mmu.Access(va, perm.Read, perm.U, 1000)
+		res, err := r.access(va, perm.Read, perm.U, 1000)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.TLBHit != "L1" {
+		if res.TLBHit != TLBHitL1 {
 			t.Fatalf("mode %d: second access should hit L1 TLB, got %s", mode, res.TLBHit)
 		}
 		if res.TotalRefs() != 1 {
@@ -183,30 +191,30 @@ func TestL2TLBPath(t *testing.T) {
 	r := newRig(t, isoHPMP)
 	va := addr.VA(0x4000_0000)
 	r.mapPage(t, va, perm.RW, true)
-	r.mmu.Access(va, perm.Read, perm.U, 0)
+	r.access(va, perm.Read, perm.U, 0)
 	// Flush only the L1 TLBs: the L2 TLB still holds the translation.
 	r.mmu.ITLB.FlushAll()
 	r.mmu.DTLB.FlushAll()
-	res, err := r.mmu.Access(va, perm.Read, perm.U, 500)
+	res, err := r.access(va, perm.Read, perm.U, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TLBHit != "L2" {
+	if res.TLBHit != TLBHitL2 {
 		t.Errorf("want L2 TLB hit, got %s", res.TLBHit)
 	}
 	if res.TotalRefs() != 1 {
 		t.Errorf("L2 TLB hit refs = %d, want 1", res.TotalRefs())
 	}
 	// And it back-fills L1.
-	res, _ = r.mmu.Access(va, perm.Read, perm.U, 600)
-	if res.TLBHit != "L1" {
+	res, _ = r.access(va, perm.Read, perm.U, 600)
+	if res.TLBHit != TLBHitL1 {
 		t.Errorf("after L2 hit, L1 should be filled: %s", res.TLBHit)
 	}
 }
 
 func TestPageFaultPath(t *testing.T) {
 	r := newRig(t, isoPMPT)
-	res, err := r.mmu.Access(0x7777_0000, perm.Read, perm.U, 0)
+	res, err := r.access(0x7777_0000, perm.Read, perm.U, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,30 +227,30 @@ func TestProtFaultPaths(t *testing.T) {
 	r := newRig(t, isoPMP)
 	va := addr.VA(0x4000_0000)
 	r.mapPage(t, va, perm.R, true) // read-only user page
-	res, _ := r.mmu.Access(va, perm.Write, perm.U, 0)
+	res, _ := r.access(va, perm.Write, perm.U, 0)
 	if !res.ProtFault {
 		t.Errorf("write to read-only page must prot-fault: %+v", res)
 	}
 	// S-mode fetch from a user page is denied.
 	vaCode := addr.VA(0x5000_0000)
 	r.mapPage(t, vaCode, perm.RX, true)
-	res, _ = r.mmu.Access(vaCode, perm.Fetch, perm.S, 0)
+	res, _ = r.access(vaCode, perm.Fetch, perm.S, 0)
 	if !res.ProtFault {
 		t.Errorf("S-mode fetch from U page must fault: %+v", res)
 	}
 	// U-mode access to a kernel page is denied.
 	vaK := addr.VA(0x6000_0000)
 	r.mapPage(t, vaK, perm.RW, false)
-	res, _ = r.mmu.Access(vaK, perm.Read, perm.U, 0)
+	res, _ = r.access(vaK, perm.Read, perm.U, 0)
 	if !res.ProtFault {
 		t.Errorf("U access to S page must fault: %+v", res)
 	}
 	// TLB-hit path enforces the same rule (fill via S read first).
-	res, _ = r.mmu.Access(vaK, perm.Read, perm.S, 0)
+	res, _ = r.access(vaK, perm.Read, perm.S, 0)
 	if res.Faulted() {
 		t.Fatalf("S read should succeed: %+v", res)
 	}
-	res, _ = r.mmu.Access(vaK, perm.Read, perm.U, 0)
+	res, _ = r.access(vaK, perm.Read, perm.U, 0)
 	if !res.ProtFault {
 		t.Errorf("U access via TLB hit must still fault: %+v", res)
 	}
@@ -278,7 +286,7 @@ func TestAccessFaultOnUnprotectedData(t *testing.T) {
 	r.mem.Write64(leafPA, uint64(pmpt.LeafPTE(leafRaw).WithPagePerm(pageIdx, perm.None)))
 
 	r.mmu.FlushTLB()
-	res, err := r.mmu.Access(va, perm.Read, perm.U, 0)
+	res, err := r.access(va, perm.Read, perm.U, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,12 +312,12 @@ func TestInlinedPermStopsLaterKinds(t *testing.T) {
 	r.mem.Write64(leafPA, uint64(pmpt.LeafPTE(leafRaw).WithPagePerm(pageIdx, perm.R)))
 	r.mmu.FlushTLB()
 
-	res, _ := r.mmu.Access(va, perm.Read, perm.U, 0)
+	res, _ := r.access(va, perm.Read, perm.U, 0)
 	if res.Faulted() {
 		t.Fatalf("read should pass: %+v", res)
 	}
-	res, _ = r.mmu.Access(va, perm.Write, perm.U, 100)
-	if !res.AccessFault || res.TLBHit != "L1" {
+	res, _ = r.access(va, perm.Write, perm.U, 100)
+	if !res.AccessFault || res.TLBHit != TLBHitL1 {
 		t.Errorf("inlined phys perm must deny write on TLB hit: %+v", res)
 	}
 }
@@ -318,10 +326,10 @@ func TestFlushVA(t *testing.T) {
 	r := newRig(t, isoPMP)
 	va := addr.VA(0x4000_0000)
 	r.mapPage(t, va, perm.RW, true)
-	r.mmu.Access(va, perm.Read, perm.U, 0)
+	r.access(va, perm.Read, perm.U, 0)
 	r.mmu.FlushVA(va)
-	res, _ := r.mmu.Access(va, perm.Read, perm.U, 100)
-	if res.TLBHit != "miss" {
+	res, _ := r.access(va, perm.Read, perm.U, 100)
+	if res.TLBHit != TLBMiss {
 		t.Errorf("after FlushVA the access must walk, got %s", res.TLBHit)
 	}
 }
@@ -334,7 +342,7 @@ func TestLatencyOrderingAcrossModes(t *testing.T) {
 		va := addr.VA(0x4000_0000)
 		r.mapPage(t, va, perm.RW, true)
 		r.mmu.FlushTLB()
-		res, err := r.mmu.Access(va, perm.Read, perm.U, 0)
+		res, err := r.access(va, perm.Read, perm.U, 0)
 		if err != nil || res.Faulted() {
 			t.Fatalf("mode %d: %+v %v", mode, res, err)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"hpmp/internal/addr"
 	"hpmp/internal/cpu"
+	"hpmp/internal/mmu"
 	"hpmp/internal/perm"
 	"hpmp/internal/phys"
 	"hpmp/internal/pt"
@@ -346,7 +347,7 @@ func TestEndToEndMemoryAccessThroughMonitor(t *testing.T) {
 	mach.MMU.SetRoot(tbl.Root())
 	mach.MMU.FlushTLB()
 
-	res, err := mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now)
+	res, err := mmuAccess(mach.MMU, va, perm.Read, perm.U, mach.Core.Now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,11 +374,19 @@ func TestPMPTModeEndToEndRefs(t *testing.T) {
 	mach.MMU.SetRoot(tbl.Root())
 	mach.MMU.FlushTLB()
 
-	res, err := mach.MMU.Access(va, perm.Read, perm.U, mach.Core.Now)
+	res, err := mmuAccess(mach.MMU, va, perm.Read, perm.U, mach.Core.Now)
 	if err != nil || res.Faulted() {
 		t.Fatalf("%+v %v", res, err)
 	}
 	if res.TotalRefs() != 12 {
 		t.Errorf("full-stack PMPT access = %d refs, want 12 (Fig. 2-c)", res.TotalRefs())
 	}
+}
+
+// mmuAccess adapts the out-param MMU.Access to the value-returning shape the
+// tests were written against.
+func mmuAccess(m *mmu.MMU, va addr.VA, k perm.Access, priv perm.Priv, now uint64) (mmu.Result, error) {
+	var res mmu.Result
+	err := m.Access(va, k, priv, now, &res)
+	return res, err
 }

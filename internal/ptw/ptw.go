@@ -146,112 +146,135 @@ func leafTranslation(e pt.PTE, va addr.VA, level int) pt.Translation {
 // spill code. BenchmarkPTWWalkPWCHit pins the budget.
 func (w *Walker) Walk(root addr.PA, va addr.VA, now uint64) (Result, error) {
 	var res Result
+	err := w.WalkInto(root, va, now, &res)
+	return res, err
+}
+
+// WalkInto is Walk writing into a caller-provided Result. The MMU's access
+// path uses it to build the walk sub-result in place inside mmu.Result —
+// returning the 64-byte struct by value through Walk costs a duffcopy per
+// TLB miss that this form avoids. *out is reset before the walk.
+func (w *Walker) WalkInto(root addr.PA, va addr.VA, now uint64, out *Result) error {
 	var err error
+	*out = Result{}
 	if w.Trace != nil {
-		res, err = w.walkTraced(root, va, now)
+		err = w.walkTraced(root, va, now, out)
 	} else {
-		res, err = w.walkFast(root, va, now)
+		err = w.walkFast(root, va, now, out)
 	}
 	if err == nil && w.Hist != nil {
-		w.Hist.Observe(res.Latency)
+		w.Hist.Observe(out.Latency)
 	}
-	return res, err
+	return err
+}
+
+// WalkBookkeeping is WalkInto minus the walk-latency histogram observation.
+// Software-initiated translations (mmu.Translate: monitor and kernel
+// bookkeeping) run at now=0 outside any timed instruction stream; recording
+// them would pollute ptw.walk_latency with time-zero samples that no
+// hardware walk produced. Walk counters (ptw.walk_ok, ptw.pte_fetch, ...)
+// still advance — the references are real — only the latency distribution
+// is reserved for hardware-initiated walks.
+func (w *Walker) WalkBookkeeping(root addr.PA, va addr.VA, now uint64, out *Result) error {
+	*out = Result{}
+	if w.Trace != nil {
+		return w.walkTraced(root, va, now, out)
+	}
+	return w.walkFast(root, va, now, out)
 }
 
 // walkFast is the untraced walk loop; Walk dispatches here when no tracer
 // is attached.
-func (w *Walker) walkFast(root addr.PA, va addr.VA, now uint64) (Result, error) {
-	var res Result
+func (w *Walker) walkFast(root addr.PA, va addr.VA, now uint64, res *Result) error {
 	if !w.Mode.Canonical(va) {
 		res.PageFault = true
 		res.FaultLevel = w.Mode.Levels() - 1
 		w.bump(w.hPageFault, "ptw.page_fault")
-		return res, nil
+		return nil
 	}
 	base := root
 	for level := w.Mode.Levels() - 1; level >= 0; level-- {
 		pteAddr := base + addr.PA(w.Mode.VPN(va, level)*8)
-		raw, hit, err := w.fetchPTE(pteAddr, now, &res)
+		raw, hit, err := w.fetchPTE(pteAddr, now, res)
 		if err != nil {
-			return res, err
+			return err
 		}
 		if !hit && res.AccessFault {
 			res.FaultLevel = level
 			w.bump(w.hAccessFault, "ptw.access_fault")
-			return res, nil
+			return nil
 		}
 		e := pt.PTE(raw)
 		if !e.Valid() {
 			res.PageFault = true
 			res.FaultLevel = level
 			w.bump(w.hPageFault, "ptw.page_fault")
-			return res, nil
+			return nil
 		}
 		if e.Leaf() {
 			res.Translation = leafTranslation(e, va, level)
 			w.bump(w.hWalkOK, "ptw.walk_ok")
-			return res, nil
+			return nil
 		}
 		if level == 0 {
 			// A pointer entry where only leaves are legal: malformed table.
 			res.PageFault = true
 			res.FaultLevel = 0
 			w.bump(w.hPageFault, "ptw.page_fault")
-			return res, nil
+			return nil
 		}
 		base = e.Target()
 	}
-	return res, fmt.Errorf("ptw: walk fell through for %v", va)
+	return fmt.Errorf("ptw: walk fell through for %v", va)
 }
 
 // walkTraced is Walk with a KindPTEFetch event emitted per PTE lookup. It
 // must stay step-for-step identical to the untraced loop — the golden
 // trace and differential tests gate that — and exists only so the
 // disabled-tracing walk pays a single pointer compare at entry.
-func (w *Walker) walkTraced(root addr.PA, va addr.VA, now uint64) (Result, error) {
-	var res Result
+func (w *Walker) walkTraced(root addr.PA, va addr.VA, now uint64, res *Result) error {
 	if !w.Mode.Canonical(va) {
 		res.PageFault = true
 		res.FaultLevel = w.Mode.Levels() - 1
 		w.bump(w.hPageFault, "ptw.page_fault")
-		return res, nil
+		return nil
 	}
 	base := root
 	for level := w.Mode.Levels() - 1; level >= 0; level-- {
 		pteAddr := base + addr.PA(w.Mode.VPN(va, level)*8)
 		prevLat, prevPT, prevChk := res.Latency, res.PTRefs, res.PTCheckRefs
-		raw, hit, err := w.fetchPTE(pteAddr, now, &res)
+		raw, hit, err := w.fetchPTE(pteAddr, now, res)
 		if err != nil {
-			return res, err
+			return err
 		}
-		w.traceFetch(va, pteAddr, level, hit, &res, prevLat, prevPT, prevChk)
+		w.traceFetch(va, pteAddr, level, hit, res, prevLat, prevPT, prevChk)
 		if !hit && res.AccessFault {
 			res.FaultLevel = level
 			w.bump(w.hAccessFault, "ptw.access_fault")
-			return res, nil
+			return nil
 		}
 		e := pt.PTE(raw)
 		if !e.Valid() {
 			res.PageFault = true
 			res.FaultLevel = level
 			w.bump(w.hPageFault, "ptw.page_fault")
-			return res, nil
+			return nil
 		}
 		if e.Leaf() {
 			res.Translation = leafTranslation(e, va, level)
 			w.bump(w.hWalkOK, "ptw.walk_ok")
-			return res, nil
+			return nil
 		}
 		if level == 0 {
 			// A pointer entry where only leaves are legal: malformed table.
 			res.PageFault = true
 			res.FaultLevel = 0
 			w.bump(w.hPageFault, "ptw.page_fault")
-			return res, nil
+			return nil
 		}
 		base = e.Target()
 	}
-	return res, fmt.Errorf("ptw: walk fell through for %v", va)
+	return fmt.Errorf("ptw: walk fell through for %v", va)
 }
 
 // fetchPTE returns the PTE word at pteAddr. PWC hits cost nothing and skip

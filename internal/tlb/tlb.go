@@ -63,8 +63,12 @@ func NewL1(name string, n int) *L1 {
 	return t
 }
 
-// Lookup returns the entry translating vpn.
-func (t *L1) Lookup(vpn uint64) (Entry, bool) {
+// Lookup returns the entry translating vpn. The returned pointer aliases
+// the TLB's backing store — callers must treat it as read-only and must not
+// hold it across an Insert or Flush (the MMU copies what it needs before
+// filling). Returning a pointer instead of an Entry value keeps the 48-byte
+// struct copy off the L1-hit path, the simulator's hottest.
+func (t *L1) Lookup(vpn uint64) (*Entry, bool) {
 	if fastpath.Enabled {
 		if i := t.memo.Index(); i >= 0 {
 			e := &t.entries[i]
@@ -75,7 +79,7 @@ func (t *L1) Lookup(vpn uint64) (Entry, bool) {
 				t.tick++
 				e.lru = t.tick
 				*t.hHit++
-				return *e, true
+				return e, true
 			}
 		}
 		for i := range t.entries {
@@ -85,11 +89,11 @@ func (t *L1) Lookup(vpn uint64) (Entry, bool) {
 				e.lru = t.tick
 				t.memo.Remember(i)
 				*t.hHit++
-				return *e, true
+				return e, true
 			}
 		}
 		*t.hMiss++
-		return Entry{}, false
+		return nil, false
 	}
 	// Reference path: full search, map-keyed counters.
 	for i := range t.entries {
@@ -98,11 +102,11 @@ func (t *L1) Lookup(vpn uint64) (Entry, bool) {
 			t.tick++
 			e.lru = t.tick
 			t.Counters.Inc(t.name + ".hit")
-			return *e, true
+			return e, true
 		}
 	}
 	t.Counters.Inc(t.name + ".miss")
-	return Entry{}, false
+	return nil, false
 }
 
 // Insert fills an entry, evicting true-LRU. One pass finds the duplicate,
@@ -186,8 +190,9 @@ func NewL2(name string, n int, latency uint64) *L2 {
 
 func (t *L2) slot(vpn uint64) *Entry { return &t.entries[vpn%uint64(len(t.entries))] }
 
-// Lookup probes the direct-mapped array.
-func (t *L2) Lookup(vpn uint64) (Entry, bool) {
+// Lookup probes the direct-mapped array. As with L1.Lookup, the returned
+// pointer aliases the slot and is read-only for the caller.
+func (t *L2) Lookup(vpn uint64) (*Entry, bool) {
 	e := t.slot(vpn)
 	if e.valid && e.VPN == vpn {
 		if fastpath.Enabled {
@@ -195,14 +200,14 @@ func (t *L2) Lookup(vpn uint64) (Entry, bool) {
 		} else {
 			t.Counters.Inc(t.name + ".hit")
 		}
-		return *e, true
+		return e, true
 	}
 	if fastpath.Enabled {
 		*t.hMiss++
 	} else {
 		t.Counters.Inc(t.name + ".miss")
 	}
-	return Entry{}, false
+	return nil, false
 }
 
 // Insert fills the slot for e.VPN (direct-mapped: unconditional replace).

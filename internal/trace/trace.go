@@ -62,7 +62,7 @@ func (r *Recorder) Attach(m *mmu.MMU) func() {
 
 // Record ingests one MMU result.
 func (r *Recorder) Record(va addr.VA, k perm.Access, res mmu.Result) {
-	ev := mmu.AccessEvent(va, k, res)
+	ev := mmu.AccessEvent(va, k, &res)
 	ev.Seq = r.total
 	r.total++
 	if len(r.ring) < cap(r.ring) {

@@ -75,15 +75,11 @@ func GenKronecker(e *kernel.Env, scale, edgeFactor int, seed uint64) (*Graph, er
 	g := &Graph{N: n, M: len(edges), e: e}
 	g.rowPtr = NewU32Array(e, n+1)
 	g.colIdx = NewU32Array(e, len(edges))
-	for i, v := range rowHost {
-		if err := g.rowPtr.Set(i, v); err != nil {
-			return nil, err
-		}
+	if err := g.rowPtr.SetRange(0, rowHost); err != nil {
+		return nil, err
 	}
-	for i, v := range colHost {
-		if err := g.colIdx.Set(i, v); err != nil {
-			return nil, err
-		}
+	if err := g.colIdx.SetRange(0, colHost); err != nil {
+		return nil, err
 	}
 	return g, nil
 }
@@ -173,8 +169,8 @@ func (w *GAPWorkload) Run(e *kernel.Env) (uint64, error) {
 // bfs runs a top-down breadth-first search and returns the sum of depths.
 func bfs(e *kernel.Env, g *Graph, src int) (uint64, error) {
 	depth := NewU32Array(e, g.N)
-	for i := 0; i < g.N; i++ {
-		depth.Set(i, 0xffffffff)
+	if err := depth.Fill(0xffffffff); err != nil {
+		return 0, err
 	}
 	queue := NewU32Array(e, g.N)
 	head, tail := 0, 0
@@ -222,8 +218,12 @@ func bfs(e *kernel.Env, g *Graph, src int) (uint64, error) {
 // connectedComponents is the Shiloach-Vishkin style label-propagation CC.
 func connectedComponents(e *kernel.Env, g *Graph) (uint64, error) {
 	comp := NewU32Array(e, g.N)
-	for i := 0; i < g.N; i++ {
-		comp.Set(i, uint32(i))
+	ident := make([]uint32, g.N)
+	for i := range ident {
+		ident[i] = uint32(i)
+	}
+	if err := comp.SetRange(0, ident); err != nil {
+		return 0, err
 	}
 	for changed := true; changed; {
 		changed = false

@@ -237,10 +237,12 @@ func (q *QSort) Name() string { return "qsort" }
 func (q *QSort) Run(e *kernel.Env) (uint64, error) {
 	a := NewU64Array(e, q.N)
 	r := newRNG(1234)
-	for i := 0; i < q.N; i++ {
-		if err := a.Set(i, r.next()); err != nil {
-			return 0, err
-		}
+	vals := make([]uint64, q.N)
+	for i := range vals {
+		vals[i] = r.next()
+	}
+	if err := a.SetRange(0, vals); err != nil {
+		return 0, err
 	}
 	if err := quicksort(a, 0, q.N-1); err != nil {
 		return 0, err
@@ -504,8 +506,8 @@ func (b *BigInt) Run(e *kernel.Env) (uint64, error) {
 	}
 	var check uint64
 	for round := 0; round < b.Rounds; round++ {
-		for i := 0; i < 2*b.Words; i++ {
-			z.Set(i, 0)
+		if err := z.Fill(0); err != nil {
+			return 0, err
 		}
 		for i := 0; i < b.Words; i++ {
 			xi, err := x.Get(i)
