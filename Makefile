@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race smoke obs-smoke fuzz bench eval eval-quick examples metrics-baseline metrics-diff clean
+.PHONY: all build vet test test-short race smoke obs-smoke replay-smoke fuzz bench eval eval-quick examples metrics-baseline metrics-diff clean
 
 all: build vet test race smoke fuzz
 
@@ -38,6 +38,23 @@ obs-smoke:
 		run fig10 > /dev/null
 	$(GO) run ./cmd/hpmptrace -read obs-out/traces/fig10.trace.jsonl > /dev/null
 
+# Replay smoke: capture a tiny trace from one quick experiment, verify the
+# round-trip property through cmd/hpmptrace, then replay it twice through
+# cmd/hpmpsim and diff the two metric sets — a faithful, deterministic
+# replay must come out byte-identical (exit 0). Exercises the whole
+# record -> parse -> replay -> metrics -> diff pipeline end to end.
+replay-smoke:
+	rm -rf obs-out/replay
+	$(GO) run ./cmd/hpmpsim -quick \
+		-trace obs-out/replay/traces -trace-every 1 \
+		run fig10 > /dev/null
+	$(GO) run ./cmd/hpmptrace -replay-check obs-out/replay/traces/fig10.trace.jsonl
+	$(GO) run ./cmd/hpmpsim -metrics-dir obs-out/replay/a -id fig10 \
+		replay obs-out/replay/traces/fig10.trace.jsonl > /dev/null
+	$(GO) run ./cmd/hpmpsim -metrics-dir obs-out/replay/b -id fig10 \
+		replay obs-out/replay/traces/fig10.trace.jsonl > /dev/null
+	$(GO) run ./cmd/hpmpsim diff obs-out/replay/a obs-out/replay/b
+
 # Short fuzz pass over the register-format round trips and the PMPTW
 # walker-vs-oracle cross-check (go test -fuzz takes one target at a time).
 # The weekly fuzz workflow overrides FUZZTIME for a longer soak.
@@ -45,6 +62,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/pmp -run '^$$' -fuzz FuzzPMPEncodeDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pmpt -run '^$$' -fuzz FuzzPMPTWalk -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadTrace -fuzztime $(FUZZTIME)
 
 # Refresh the committed cross-commit metrics baseline (quick sizes, JSON
 # only — the Prometheus text is derived output). Run this when an

@@ -99,6 +99,45 @@ func TestMediumRunGolden(t *testing.T) {
 		golden, lineDiff(string(want), stdout))
 }
 
+// TestScenarioGolden pins each scenario-zoo experiment's quick stdout in
+// its own golden file (testdata/<id>.quick.golden). The aggregate quick
+// golden would catch the same drift, but a per-scenario file makes the
+// blast radius obvious: a shootdown change diffs one small file instead of
+// burying the reader in the all-experiments stream.
+func TestScenarioGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the scenario experiments")
+	}
+	for _, e := range bench.All() {
+		if !strings.HasPrefix(e.ID, "scen-") {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, "-quick", "run", e.ID)
+			if code != 0 {
+				t.Fatalf("run %s exited %d:\n%s", e.ID, code, stderr)
+			}
+			golden := filepath.Join("testdata", e.ID+".quick.golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", golden, len(stdout))
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create it): %v", err)
+			}
+			if stdout != string(want) {
+				t.Errorf("stdout differs from %s (re-run with -update if the change is intended):\n%s",
+					golden, lineDiff(string(want), stdout))
+			}
+		})
+	}
+}
+
 // lineDiff renders the first run of differing lines with context, in a
 // "want/got" form readable straight off a CI log.
 func lineDiff(want, got string) string {

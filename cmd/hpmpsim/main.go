@@ -15,6 +15,8 @@
 //	hpmpsim -progress -pprof localhost:6060 run all  # live status + profiling
 //	hpmpsim diff baseline/ current/   # regression-gate two metrics dirs
 //	hpmpsim -diff-json v.json -wall-tol 0.5 diff base cur  # machine verdict
+//	hpmpsim replay t.trace.jsonl      # re-execute a recorded trace
+//	hpmpsim -mode pmpt -depth 3 -metrics-dir m replay t.trace.jsonl  # cross-config
 //
 // Experiments run on a worker pool (`-parallel`, default NumCPU; 1 is
 // strictly sequential). Failures are isolated: a failing, panicking, or
@@ -47,6 +49,7 @@ import (
 	"hpmp/internal/addr"
 	"hpmp/internal/bench"
 	"hpmp/internal/obs"
+	"hpmp/internal/replay"
 )
 
 func main() {
@@ -74,6 +77,14 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	diffJSON := fs.String("diff-json", "", "with 'diff', also write the machine-readable verdict to this file")
 	wallTol := fs.Float64("wall-tol", 0, "with 'diff', fail on wall-time drift beyond this fraction (0 = report only)")
+	rPlatform := fs.String("platform", "rocket", "with 'replay', target platform (rocket or boom)")
+	rMode := fs.String("mode", "hpmp", "with 'replay', isolation mode (none, pmp, pmpt, hpmp)")
+	rL2TLB := fs.Int("l2tlb", 0, "with 'replay', L2 TLB entries (0 = platform default, <0 = disable)")
+	rPWC := fs.Int("pwc", 0, "with 'replay', page-walk cache entries (0 = platform default, <0 = disable)")
+	rPMPTWCache := fs.Bool("pmptw-cache", false, "with 'replay', enable the PMPT walker cache")
+	rDepth := fs.Int("depth", 0, "with 'replay', permission-table depth (0 = default, 2, 3, or 4)")
+	rID := fs.String("id", "replay", "with 'replay', experiment id used for metrics artifacts")
+	rOutTrace := fs.String("out-trace", "", "with 'replay', capture the replay's own unsampled trace to this file")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -161,6 +172,21 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return runExperiments(ctx, cfg, exps, opts, *csv, art, stdout, stderr)
+	case "replay":
+		if len(args) != 2 {
+			fmt.Fprintln(stderr, "hpmpsim: replay requires exactly one trace file: replay [flags] <trace.jsonl>")
+			return 2
+		}
+		rcfg := replay.Config{
+			Platform:     *rPlatform,
+			Mode:         replay.Mode(*rMode),
+			MemSize:      *memMiB * addr.MiB,
+			L2TLBEntries: *rL2TLB,
+			PWCEntries:   *rPWC,
+			PMPTWCache:   *rPMPTWCache,
+			TableDepth:   *rDepth,
+		}
+		return runReplay(args[1], rcfg, *rID, *metricsDir, *rOutTrace, stdout, stderr)
 	case "diff":
 		if len(args) != 3 {
 			fmt.Fprintln(stderr, "hpmpsim: diff requires exactly two metrics directories: diff <baseline-dir> <current-dir>")
@@ -335,6 +361,7 @@ Usage:
   hpmpsim [flags] list
   hpmpsim [flags] describe <experiment-id>
   hpmpsim [flags] run <experiment-id>... | all
+  hpmpsim [flags] replay <trace.jsonl>
   hpmpsim [flags] diff <baseline-dir> <current-dir>
 
 Flags:

@@ -13,19 +13,23 @@
 //	hpmptrace -mode hpmp -workload qsort -csv trace.csv
 //	hpmptrace -mode hpmp -workload qsort -trace qsort.trace.jsonl
 //	hpmptrace -read qsort.trace.jsonl        # pretty-print any v1 trace
+//	hpmptrace -replay-check qsort.trace.jsonl # verify replay round-trip
 //	hpmptrace -list
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 
 	"hpmp/internal/addr"
 	"hpmp/internal/cpu"
 	"hpmp/internal/kernel"
 	"hpmp/internal/monitor"
 	"hpmp/internal/obs"
+	"hpmp/internal/replay"
 	"hpmp/internal/trace"
 	"hpmp/internal/workloads"
 )
@@ -51,12 +55,19 @@ func main() {
 	csvPath := flag.String("csv", "", "write the retained event ring as CSV to this file")
 	tracePath := flag.String("trace", "", "write the retained event ring as a JSONL trace (hpmp-trace/v1) to this file")
 	readPath := flag.String("read", "", "pretty-print a JSONL trace file and exit (no simulation)")
+	checkPath := flag.String("replay-check", "", "round-trip a JSONL trace through the replay engine twice and verify the replays agree byte-for-byte (no simulation)")
 	keep := flag.Int("keep", 4096, "events retained in the ring")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
 	if *readPath != "" {
 		if err := readTrace(*readPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *checkPath != "" {
+		if err := replayCheck(*checkPath); err != nil {
 			fatal(err)
 		}
 		return
@@ -165,6 +176,57 @@ func readTrace(path string) error {
 	for _, ev := range events {
 		fmt.Println(obs.FormatEvent(ev))
 	}
+	return nil
+}
+
+// replayCheck is the round-trip gate: parse the trace, replay it twice on
+// the canonical replay config, and require the two replays to agree
+// byte-for-byte (counters and Prometheus text) with zero divergences from
+// the recorded outcomes. This is the CLI form of the replay-equivalence
+// property the integration tier pins.
+func replayCheck(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	h, events, err := obs.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	run := func() (*replay.Engine, []byte, error) {
+		e, err := replay.New(replay.DefaultConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := e.Run(events); err != nil {
+			return nil, nil, err
+		}
+		var prom bytes.Buffer
+		if err := e.Metrics(h.Source).WritePrometheus(&prom); err != nil {
+			return nil, nil, err
+		}
+		return e, prom.Bytes(), nil
+	}
+	e1, p1, err := run()
+	if err != nil {
+		return err
+	}
+	e2, p2, err := run()
+	if err != nil {
+		return err
+	}
+	if e1.Stats.Divergences > 0 {
+		return fmt.Errorf("replay-check %s: replay diverged %d times; first: %s",
+			path, e1.Stats.Divergences, e1.Stats.First)
+	}
+	if !reflect.DeepEqual(e1.Counters(), e2.Counters()) || !bytes.Equal(p1, p2) {
+		return fmt.Errorf("replay-check %s: two replays of the same trace disagree", path)
+	}
+	s := e1.Stats
+	fmt.Printf("replay-check %s: OK\n", path)
+	fmt.Printf("  source %s, %d events; replayed %d accesses (%d skipped), %d maps, byte-identical twice\n",
+		h.Source, s.Events, s.Accesses, s.Skipped(), s.Maps)
 	return nil
 }
 

@@ -42,7 +42,9 @@ func TestRegistry(t *testing.T) {
 		"ext-deep", "ext-enclave", "ext-epmp", "ext-hints", "ext-svx",
 		"fig10", "fig11a", "fig11bc", "fig12ab", "fig12c", "fig12de",
 		"fig13", "fig14a", "fig14bc", "fig14d", "fig15", "fig16", "fig17",
-		"fig3a", "fig3b", "fig3c", "fig3d", "table3", "table4",
+		"fig3a", "fig3b", "fig3c", "fig3d",
+		"scen-aging", "scen-coldflood", "scen-shootdown", "scen-virtdepth",
+		"table3", "table4",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

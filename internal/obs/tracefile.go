@@ -141,13 +141,20 @@ func WriteTrace(w io.Writer, source string, t *Tracer) error {
 	return bw.Flush()
 }
 
-// ReadTrace parses a trace file written by WriteTrace.
+// ReadTrace parses a trace file written by WriteTrace. It is hardened
+// against truncated or corrupt input: every parse failure names the
+// offending line, an over-long line surfaces as an error with its line
+// number instead of a bare bufio.ErrTooLong, events must carry strictly
+// increasing sequence numbers (the writer emits the retained window oldest
+// first), and a stream that ends before header.kept events — a partial
+// download, a truncated copy — is an explicit truncation error rather than
+// a silent partial success.
 func ReadTrace(r io.Reader) (Header, []Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
-			return Header{}, nil, err
+			return Header{}, nil, fmt.Errorf("obs: trace line 1: %w", err)
 		}
 		return Header{}, nil, fmt.Errorf("obs: empty trace file")
 	}
@@ -158,8 +165,12 @@ func ReadTrace(r io.Reader) (Header, []Event, error) {
 	if h.Schema != TraceSchema {
 		return Header{}, nil, fmt.Errorf("obs: trace schema %q, want %q", h.Schema, TraceSchema)
 	}
+	if h.Kept < 0 {
+		return Header{}, nil, fmt.Errorf("obs: bad trace header: negative kept count %d", h.Kept)
+	}
 	var events []Event
 	line := 1
+	lastSeq := uint64(0)
 	for sc.Scan() {
 		line++
 		if len(strings.TrimSpace(string(sc.Bytes()))) == 0 {
@@ -173,10 +184,19 @@ func ReadTrace(r io.Reader) (Header, []Event, error) {
 		if err != nil {
 			return Header{}, nil, fmt.Errorf("obs: trace line %d: %w", line, err)
 		}
+		if len(events) > 0 && ev.Seq <= lastSeq {
+			return Header{}, nil, fmt.Errorf("obs: trace line %d: event seq %d not after %d (corrupt or reordered stream)",
+				line, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
 		events = append(events, ev)
 	}
 	if err := sc.Err(); err != nil {
-		return Header{}, nil, err
+		return Header{}, nil, fmt.Errorf("obs: trace line %d: %w", line+1, err)
+	}
+	if len(events) != h.Kept {
+		return Header{}, nil, fmt.Errorf("obs: truncated trace: header says %d events, stream has %d",
+			h.Kept, len(events))
 	}
 	return h, events, nil
 }
