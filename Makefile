@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race smoke obs-smoke replay-smoke fuzz bench eval eval-quick examples metrics-baseline metrics-diff clean
+.PHONY: all build vet test test-short race smoke obs-smoke replay-smoke pipelines-smoke fuzz bench eval eval-quick examples metrics-baseline metrics-diff clean
 
 all: build vet test race smoke fuzz
 
@@ -54,6 +54,25 @@ replay-smoke:
 	$(GO) run ./cmd/hpmpsim -metrics-dir obs-out/replay/b -id fig10 \
 		replay obs-out/replay/traces/fig10.trace.jsonl > /dev/null
 	$(GO) run ./cmd/hpmpsim diff obs-out/replay/a obs-out/replay/b
+
+# Pipelines smoke: capture one quick trace, then drive it through the
+# config-specialized access pipeline of every isolation mode (DESIGN.md
+# §6.2), including the degenerate no-cache geometry. A non-zero exit from
+# any replay means a pipeline diverged from the recording or failed to
+# assemble.
+pipelines-smoke:
+	rm -rf obs-out/pipelines
+	$(GO) run ./cmd/hpmpsim -quick \
+		-trace obs-out/pipelines/traces -trace-every 1 \
+		run fig10 > /dev/null
+	for mode in none pmp pmpt hpmp; do \
+		$(GO) run ./cmd/hpmpsim -mode $$mode -id fig10-$$mode \
+			replay obs-out/pipelines/traces/fig10.trace.jsonl > /dev/null || exit 1; \
+	done
+	$(GO) run ./cmd/hpmpsim -mode pmpt -l2tlb 0 -pwc 0 -pmptw-cache 0 \
+		-id fig10-nocache replay obs-out/pipelines/traces/fig10.trace.jsonl > /dev/null
+	$(GO) run ./cmd/hpmpsim -mode hpmp -scalar -id fig10-scalar \
+		replay obs-out/pipelines/traces/fig10.trace.jsonl > /dev/null
 
 # Short fuzz pass over the register-format round trips and the PMPTW
 # walker-vs-oracle cross-check (go test -fuzz takes one target at a time).

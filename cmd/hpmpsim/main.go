@@ -79,12 +79,13 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	wallTol := fs.Float64("wall-tol", 0, "with 'diff', fail on wall-time drift beyond this fraction (0 = report only)")
 	rPlatform := fs.String("platform", "rocket", "with 'replay', target platform (rocket or boom)")
 	rMode := fs.String("mode", "hpmp", "with 'replay', isolation mode (none, pmp, pmpt, hpmp)")
-	rL2TLB := fs.Int("l2tlb", 0, "with 'replay', L2 TLB entries (0 = platform default, <0 = disable)")
-	rPWC := fs.Int("pwc", 0, "with 'replay', page-walk cache entries (0 = platform default, <0 = disable)")
-	rPMPTWCache := fs.Bool("pmptw-cache", false, "with 'replay', enable the PMPT walker cache")
+	rL2TLB := fs.Int("l2tlb", -1, "with 'replay', L2 TLB entries (0 = no L2 TLB, <0 = platform default)")
+	rPWC := fs.Int("pwc", -1, "with 'replay', page-walk cache entries (0 = no PWC, <0 = platform default)")
+	rPMPTWCache := fs.Int("pmptw-cache", 0, "with 'replay', PMPT walker cache entries (0 = disabled, the paper default)")
 	rDepth := fs.Int("depth", 0, "with 'replay', permission-table depth (0 = default, 2, 3, or 4)")
 	rID := fs.String("id", "replay", "with 'replay', experiment id used for metrics artifacts")
 	rOutTrace := fs.String("out-trace", "", "with 'replay', capture the replay's own unsampled trace to this file")
+	rScalar := fs.Bool("scalar", false, "with 'replay', drain accesses one mmu.Access at a time instead of AccessBatch")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -177,14 +178,28 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "hpmpsim: replay requires exactly one trace file: replay [flags] <trace.jsonl>")
 			return 2
 		}
+		// CLI geometry flags read naturally (0 = the structure is absent,
+		// negative = platform default); Config encodes absence as a negative
+		// override and default as 0, so remap here.
+		capFlag := func(v int) int {
+			switch {
+			case v < 0:
+				return 0 // platform default
+			case v == 0:
+				return -1 // explicitly absent: zero-capacity structure
+			default:
+				return v
+			}
+		}
 		rcfg := replay.Config{
 			Platform:     *rPlatform,
 			Mode:         replay.Mode(*rMode),
 			MemSize:      *memMiB * addr.MiB,
-			L2TLBEntries: *rL2TLB,
-			PWCEntries:   *rPWC,
+			L2TLBEntries: capFlag(*rL2TLB),
+			PWCEntries:   capFlag(*rPWC),
 			PMPTWCache:   *rPMPTWCache,
 			TableDepth:   *rDepth,
+			Scalar:       *rScalar,
 		}
 		return runReplay(args[1], rcfg, *rID, *metricsDir, *rOutTrace, stdout, stderr)
 	case "diff":

@@ -113,8 +113,7 @@ func NewMachine(plat Platform, memSize uint64) *Machine {
 		nEntries = 16
 	}
 	checker := hpmp.NewSized(&pmpt.Walker{Port: walkerPort, Cache: wcache}, nEntries)
-	m := mmu.New(plat.MMU, hier, mem, checker)
-	m.Walker.Port = walkerPort
+	m := mmu.NewWithWalkerPort(plat.MMU, hier, mem, checker, walkerPort)
 	core := NewCore(plat.Core, m)
 	return &Machine{
 		Plat:       plat,

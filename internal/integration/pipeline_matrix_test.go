@@ -1,0 +1,186 @@
+// Differential matrix over the compiled access pipelines (ISSUE 8): every
+// specialized pipeline variant — all isolation modes × permission-table
+// depths × degenerate cache geometries × batch and scalar entry points —
+// must replay one recorded light-experiment trace byte-identically to the
+// -tags refpath reference (fastpath.Enabled = false): 0 divergences on both
+// sides, equal machine counters, equal final clock, equal latency
+// histograms. The replay engine's equivalence machinery is the oracle; the
+// trace is recorded once and shared across the matrix.
+package integration
+
+import (
+	"reflect"
+	"testing"
+
+	"hpmp/internal/bench"
+	"hpmp/internal/mmu"
+	"hpmp/internal/obs"
+	"hpmp/internal/replay"
+)
+
+// recordMatrixTrace records the first light experiment that actually drives
+// the traced translation path, at quick sizes. The recorded stream is a set
+// of mapping proofs, so it replays with 0 divergences on any machine
+// config — exactly what lets one trace sweep the whole matrix.
+func recordMatrixTrace(t *testing.T) []obs.Event {
+	t.Helper()
+	for _, exp := range bench.All() {
+		if exp.Cost != bench.CostLight {
+			continue
+		}
+		cfg := bench.DefaultConfig()
+		cfg.Quick = true
+		outcomes := bench.RunAll(t.Context(), cfg, []bench.Experiment{exp},
+			bench.RunOptions{Parallel: 1, TraceEvery: 1, TraceKeep: 1 << 15}, nil)
+		o := outcomes[0]
+		if !o.OK() {
+			t.Fatalf("%s: %v", exp.ID, o.Err)
+		}
+		if o.Trace != nil && o.Trace.Kept() > 0 {
+			return o.Trace.Events()
+		}
+	}
+	t.Fatal("no light-tier experiment produced translation events")
+	return nil
+}
+
+func matrixVariants() []replay.Config {
+	base := replay.DefaultConfig()
+	var out []replay.Config
+	// Every isolation mode on the default geometry (depth 2 where a table
+	// exists).
+	for _, mode := range []replay.Mode{replay.ModeNone, replay.ModePMP, replay.ModePMPT, replay.ModeHPMP} {
+		c := base
+		c.Mode = mode
+		out = append(out, c)
+	}
+	// Deep permission tables: depths 3 and 4 for both table-walking modes.
+	for _, mode := range []replay.Mode{replay.ModePMPT, replay.ModeHPMP} {
+		for _, depth := range []int{3, 4} {
+			c := base
+			c.Mode = mode
+			c.TableDepth = depth
+			out = append(out, c)
+		}
+	}
+	// Degenerate geometry: every cache structure absent (no L2 TLB, no PWC,
+	// zero-capacity PMPTW cache) on a table-walking mode.
+	deg := base
+	deg.Mode = replay.ModePMPT
+	deg.L2TLBEntries = -1
+	deg.PWCEntries = -1
+	deg.PMPTWCache = -1
+	out = append(out, deg)
+	// PMPTW cache enabled (the §7 sensitivity config).
+	wc := base
+	wc.Mode = replay.ModeHPMP
+	wc.PMPTWCache = 8
+	out = append(out, wc)
+	return out
+}
+
+// wantPipeline is the access-pipeline variant each matrix config must
+// compile on the fast path.
+func wantPipeline(c replay.Config) mmu.PipelineKind {
+	hasChecker := c.Mode != replay.ModeNone
+	hasL2 := c.L2TLBEntries >= 0
+	switch {
+	case hasChecker && hasL2:
+		return mmu.PipelineChecked
+	case hasChecker:
+		return mmu.PipelineCheckedNoL2
+	case hasL2:
+		return mmu.PipelineBare
+	default:
+		return mmu.PipelineBareNoL2
+	}
+}
+
+func replayMatrixOnce(t *testing.T, cfg replay.Config, events []obs.Event) *replay.Engine {
+	t.Helper()
+	e, err := replay.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(events); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Divergences != 0 {
+		t.Fatalf("config %s diverged %d times; first: %s", cfg, e.Stats.Divergences, e.Stats.First)
+	}
+	return e
+}
+
+func TestPipelineDifferentialMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a recorded trace through every pipeline variant")
+	}
+	events := recordMatrixTrace(t)
+	for _, cfg := range matrixVariants() {
+		for _, scalar := range []bool{false, true} {
+			cfg := cfg
+			cfg.Scalar = scalar
+			t.Run(cfg.String(), func(t *testing.T) {
+				var fast, ref *replay.Engine
+				withFastpath(true, func() { fast = replayMatrixOnce(t, cfg, events) })
+				withFastpath(false, func() { ref = replayMatrixOnce(t, cfg, events) })
+
+				if got, want := fast.Machine().MMU.Pipeline(), wantPipeline(cfg); got != want {
+					t.Errorf("compiled pipeline = %v, want %v", got, want)
+				}
+				if got := ref.Machine().MMU.Pipeline(); got != mmu.PipelineGeneric {
+					t.Errorf("reference pipeline = %v, want %v", got, mmu.PipelineGeneric)
+				}
+
+				cf, cr := machineOnly(fast.Counters()), machineOnly(ref.Counters())
+				if !reflect.DeepEqual(cf, cr) {
+					for k, v := range cf {
+						if cr[k] != v {
+							t.Errorf("counter %s: fast %d, ref %d", k, v, cr[k])
+						}
+					}
+					for k, v := range cr {
+						if _, ok := cf[k]; !ok {
+							t.Errorf("counter %s: fast absent, ref %d", k, v)
+						}
+					}
+				}
+				if fast.Now() != ref.Now() {
+					t.Errorf("final clock: fast %d, ref %d", fast.Now(), ref.Now())
+				}
+				if !reflect.DeepEqual(fast.Histograms(), ref.Histograms()) {
+					t.Error("latency histograms differ between fast and ref")
+				}
+			})
+		}
+	}
+}
+
+// TestPipelineScalarBatchEquivalence proves the two entry points identical
+// on the same compiled pipeline: the scalar drain of the same stream lands
+// on the same machine counters, clock, and histograms as the batched one.
+func TestPipelineScalarBatchEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a recorded trace twice per isolation mode")
+	}
+	events := recordMatrixTrace(t)
+	base := replay.DefaultConfig()
+	for _, mode := range []replay.Mode{replay.ModeNone, replay.ModePMP, replay.ModePMPT, replay.ModeHPMP} {
+		cfg := base
+		cfg.Mode = mode
+		t.Run(string(mode), func(t *testing.T) {
+			batched := replayMatrixOnce(t, cfg, events)
+			cfg.Scalar = true
+			scalar := replayMatrixOnce(t, cfg, events)
+			if !reflect.DeepEqual(machineOnly(batched.Counters()), machineOnly(scalar.Counters())) {
+				t.Error("machine counters differ between batch and scalar entry points")
+			}
+			if batched.Now() != scalar.Now() {
+				t.Errorf("final clock: batch %d, scalar %d", batched.Now(), scalar.Now())
+			}
+			if !reflect.DeepEqual(batched.Histograms(), scalar.Histograms()) {
+				t.Error("latency histograms differ between batch and scalar entry points")
+			}
+		})
+	}
+}

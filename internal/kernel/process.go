@@ -122,8 +122,18 @@ func (k *Kernel) Spawn(img Image) (*Process, error) {
 	k.Mach.Core.Compute(1500)
 	k.Mach.Core.Priv = perm.U
 	if k.current < 0 {
+		// Adopting a root on an idle machine is still a satp write and owes
+		// SetRoot's flush contract: after an Exit the TLBs may still hold the
+		// dead process's translations, and without a flush the next spawn
+		// could be served a stale VPN→PFN from the previous address space.
+		// Only the true first adoption (Root == 0: no translation has ever
+		// run) skips the flush cost, keeping boot-time behavior unchanged.
+		prev := k.Mach.MMU.Root
 		k.current = pid
 		k.Mach.MMU.SetRoot(p.Table.Root())
+		if prev != 0 {
+			k.Mach.MMU.FlushTLB()
+		}
 	}
 	return p, nil
 }

@@ -88,6 +88,10 @@ type MMU struct {
 	hAccessFaultPT, hPageFault, hProtFault *uint64
 	hAccessFaultData, hAccessFaultInline   *uint64
 
+	// pipeline is the access core compiled by compilePipeline at
+	// construction (see pipeline.go); dispatch switches on it per access.
+	pipeline PipelineKind
+
 	// LatHist is the end-to-end access-latency histogram ("mmu.access_latency"
 	// in metrics snapshots): one observation per completed Access, faulted or
 	// not, covering translation plus the data reference. Allocated once in
@@ -98,9 +102,23 @@ type MMU struct {
 	Counters stats.Counters
 }
 
-// New builds an MMU. checker may be nil (no isolation, Fig. 2-a).
+// New builds an MMU. checker may be nil (no isolation, Fig. 2-a). The
+// page-table walker fetches PTEs through a default port over hier+mem;
+// machines that route walker traffic differently (cpu.NewMachine skips the
+// L1D, as Rocket does) use NewWithWalkerPort.
 func New(cfg Config, hier *cache.Hierarchy, mem *phys.Memory, checker ptw.Checker) *MMU {
-	port := &memport.Timed{Hier: hier, Mem: mem}
+	return NewWithWalkerPort(cfg, hier, mem, checker, nil)
+}
+
+// NewWithWalkerPort is New with an explicit memory port for the page-table
+// walker (nil selects the default hier+mem port). Supplying the port at
+// construction — rather than mutating Walker.Port afterwards — keeps every
+// structural input to the pipeline compiler in one place.
+func NewWithWalkerPort(cfg Config, hier *cache.Hierarchy, mem *phys.Memory, checker ptw.Checker, walkerPort memport.Port) *MMU {
+	if walkerPort == nil {
+		walkerPort = &memport.Timed{Hier: hier, Mem: mem}
+	}
+	port := walkerPort
 	m := &MMU{
 		cfg:     cfg,
 		ITLB:    tlb.NewL1("itlb", cfg.ITLBEntries),
@@ -122,6 +140,7 @@ func New(cfg Config, hier *cache.Hierarchy, mem *phys.Memory, checker ptw.Checke
 	m.hProtFault = m.Counters.Handle("mmu.prot_fault")
 	m.hAccessFaultData = m.Counters.Handle("mmu.access_fault_data")
 	m.hAccessFaultInline = m.Counters.Handle("mmu.access_fault_inline")
+	m.pipeline = compilePipeline(checker != nil, m.STLB.Len() > 0)
 	return m
 }
 
@@ -158,6 +177,16 @@ func (m *MMU) FlushTLB() {
 // metrics the same way full flushes are (FlushTLB / mmu.tlb_flush) — the
 // cost matters doubly here because even the single-address form empties the
 // whole PWC.
+//
+// FlushVA deliberately does NOT touch the PMPT walker cache or its memo:
+// sfence.vma (and this per-VA form of it) orders updates to the
+// VA-translation structures — TLB entries and page-table-walk caches keyed
+// by virtual address. The pmpte caches are keyed by *physical* address and
+// belong to the physical-isolation dimension, whose fence is separate
+// (mirroring how HFENCE.GVMA, not sfence.vma, orders G-stage structures):
+// the monitor invokes Checker.FlushWalkerCache together with a full TLB
+// flush on every HPMP register or table edit (monitor.flushAfterUpdate, §5).
+// TestFlushVADoesNotScopePMPTWalkerCache pins exactly this split.
 func (m *MMU) FlushVA(va addr.VA) {
 	vpn := va.Frame()
 	m.ITLB.FlushVPN(vpn)
@@ -242,7 +271,7 @@ func (r Result) Faulted() bool { return r.PageFault || r.ProtFault || r.AccessFa
 // removes every intermediate copy.
 func (m *MMU) Access(va addr.VA, k perm.Access, priv perm.Priv, now uint64, out *Result) error {
 	*out = Result{}
-	err := m.accessInner(va, k, priv, now, out)
+	err := m.dispatch(va, k, priv, now, out)
 	if err == nil {
 		m.LatHist.Observe(out.Latency)
 		if m.Trace != nil {
@@ -282,7 +311,7 @@ func (m *MMU) AccessBatch(refs []AccessReq, out []Result, now uint64) (uint64, e
 		r := &refs[i]
 		res := &out[i]
 		*res = Result{}
-		if err := m.accessInner(r.VA, r.Kind, r.Priv, now, res); err != nil {
+		if err := m.dispatch(r.VA, r.Kind, r.Priv, now, res); err != nil {
 			return now, err
 		}
 		m.LatHist.Observe(res.Latency)
@@ -350,6 +379,12 @@ func AccessEvent(va addr.VA, k perm.Access, res *Result) obs.Event {
 // outcome. It never copies Result: TLB-hit completion and the data access
 // mutate res in place, and the walk sub-result is built directly in
 // res.Walk via WalkInto.
+//
+// accessInner is the reference pipeline: compilePipeline (pipeline.go)
+// selects it whenever fastpath.Enabled is false at construction, and the
+// specialized variants must stay byte-identical to it — every structural
+// branch below (L2 presence, checker presence) has a compiled twin with the
+// branch resolved.
 func (m *MMU) accessInner(va addr.VA, k perm.Access, priv perm.Priv, now uint64, res *Result) error {
 	vpn := va.Frame()
 	l1 := m.DTLB
@@ -362,12 +397,15 @@ func (m *MMU) accessInner(va addr.VA, k perm.Access, priv perm.Priv, now uint64,
 		res.TLBHit = TLBHitL1
 		return m.finishFromTLB(res, e, va, k, priv, now)
 	}
-	// 2. L2 TLB.
-	res.Latency += m.STLB.Latency
-	if e, ok := m.STLB.Lookup(vpn); ok {
-		res.TLBHit = TLBHitL2
-		l1.Insert(*e)
-		return m.finishFromTLB(res, e, va, k, priv, now)
+	// 2. L2 TLB. An absent L2 (zero capacity) performs no probe and charges
+	// no latency — there is no structure to consult.
+	if m.STLB.Len() > 0 {
+		res.Latency += m.STLB.Latency
+		if e, ok := m.STLB.Lookup(vpn); ok {
+			res.TLBHit = TLBHitL2
+			l1.Insert(*e)
+			return m.finishFromTLB(res, e, va, k, priv, now)
+		}
 	}
 	res.TLBHit = TLBMiss
 

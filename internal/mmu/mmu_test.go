@@ -37,6 +37,13 @@ const memSize = 256 * addr.MiB
 
 func newRig(t *testing.T, mode isoMode) *rig {
 	t.Helper()
+	return newRigL2(t, mode, DefaultConfig(addr.Sv39).L2TLBEntries)
+}
+
+// newRigL2 is newRig with an explicit L2 TLB capacity (0 = no L2 TLB), for
+// the pipeline-selection and zero-capacity sweeps.
+func newRigL2(t *testing.T, mode isoMode, l2Entries int) *rig {
+	t.Helper()
 	mem := phys.New(memSize)
 	hier := &cache.Hierarchy{
 		L1:         cache.New(cache.Config{Name: "l1d", Size: 32 * addr.KiB, Ways: 8, LineSize: 64, Latency: 2}),
@@ -91,6 +98,7 @@ func newRig(t *testing.T, mode isoMode) *rig {
 
 	cfg := DefaultConfig(addr.Sv39)
 	cfg.PWCEntries = 0 // ISA reference counts: no PWC (paper footnote 1)
+	cfg.L2TLBEntries = l2Entries
 	var m *MMU
 	if checker == nil {
 		m = New(cfg, hier, mem, nil) // typed nil must not reach the interface

@@ -1,0 +1,283 @@
+// Config-specialized access pipelines (ROADMAP item 1).
+//
+// mmu.New knows, at construction time, every structural fact the generic
+// access path re-derives per reference: whether a physical-memory checker is
+// attached (isolation mode), and whether the machine has a second TLB level.
+// compilePipeline turns that tuple into one of four specialized access
+// functions with the dead branches gone — no `Checker != nil` test per
+// access on a checker-less machine, no L2 probe (or its latency charge) on a
+// machine without an L2 TLB. Tracing keeps the walkTraced idiom: one pointer
+// compare at the Access/AccessBatch entry selects the traced epilogue, so
+// the compiled cores carry no trace checks at all.
+//
+// The generic path (accessInner) stays as the reference: a `-tags refpath`
+// build — or any machine constructed while fastpath.Enabled is false —
+// compiles PipelineGeneric, and the differential matrix in
+// internal/integration proves every specialized variant byte-identical to
+// it (Results, counters, cycle totals, histograms) across all isolation
+// modes, table depths, and degenerate cache geometries.
+//
+// What deliberately stays generic inside the compiled cores:
+//
+//   - counter bumps still go through m.bump / dataAccess (one predictable
+//     global-bool branch) so the fastpath.Enabled contract — flip only while
+//     no simulation runs — cannot make a compiled machine's counters
+//     diverge from its snapshot;
+//   - the inlined-PhysPerm check in finishFromTLB survives in every variant
+//     (tests hand-insert TLB entries with arbitrary PhysPerm);
+//   - the PMPT-depth and Sv-geometry decisions are compiled in their own
+//     layers (hpmp table plans, ptw walker geometry), not here.
+package mmu
+
+import (
+	"hpmp/internal/addr"
+	"hpmp/internal/fastpath"
+	"hpmp/internal/perm"
+	"hpmp/internal/tlb"
+)
+
+// PipelineKind names the compiled variant, for tests and smoke tooling.
+// Dispatch is a switch on this one-byte kind rather than a stored function
+// pointer: an indirect call would defeat escape analysis on the *Result
+// out-param and put a heap allocation back on every access (the zero-alloc
+// pins gate exactly that), while the direct calls behind a predictable
+// 4-way switch keep Results on the caller's stack.
+type PipelineKind uint8
+
+const (
+	// PipelineGeneric is the reference path: the un-specialized accessInner
+	// with every structural branch live. Selected whenever fastpath.Enabled
+	// is false at construction (the -tags refpath build, or a differential
+	// test's reference half).
+	PipelineGeneric PipelineKind = iota
+	// PipelineBare: no checker, L2 TLB present (Fig. 2-a machines).
+	PipelineBare
+	// PipelineBareNoL2: no checker, no L2 TLB.
+	PipelineBareNoL2
+	// PipelineChecked: checker attached, L2 TLB present (PMP/PMPT/HPMP).
+	PipelineChecked
+	// PipelineCheckedNoL2: checker attached, no L2 TLB.
+	PipelineCheckedNoL2
+)
+
+// String renders the variant name.
+func (k PipelineKind) String() string {
+	switch k {
+	case PipelineBare:
+		return "bare"
+	case PipelineBareNoL2:
+		return "bare-nol2"
+	case PipelineChecked:
+		return "checked"
+	case PipelineCheckedNoL2:
+		return "checked-nol2"
+	default:
+		return "generic"
+	}
+}
+
+// Pipeline returns the access-pipeline variant this MMU compiled at
+// construction.
+func (m *MMU) Pipeline() PipelineKind { return m.pipeline }
+
+// compilePipeline selects the access core for the machine's structural
+// tuple. It consults fastpath.Enabled once, at construction: the
+// specialized cores are observably identical to the generic one (the
+// differential matrix gates it), so the capture only decides which of two
+// equivalent instruction streams runs.
+func compilePipeline(hasChecker, hasL2 bool) PipelineKind {
+	if !fastpath.Enabled {
+		return PipelineGeneric
+	}
+	switch {
+	case hasChecker && hasL2:
+		return PipelineChecked
+	case hasChecker:
+		return PipelineCheckedNoL2
+	case hasL2:
+		return PipelineBare
+	default:
+		return PipelineBareNoL2
+	}
+}
+
+// dispatch runs the access core compiled at construction.
+func (m *MMU) dispatch(va addr.VA, k perm.Access, priv perm.Priv, now uint64, res *Result) error {
+	switch m.pipeline {
+	case PipelineChecked:
+		return m.accessChecked(va, k, priv, now, res)
+	case PipelineCheckedNoL2:
+		return m.accessCheckedNoL2(va, k, priv, now, res)
+	case PipelineBare:
+		return m.accessBare(va, k, priv, now, res)
+	case PipelineBareNoL2:
+		return m.accessBareNoL2(va, k, priv, now, res)
+	default:
+		return m.accessInner(va, k, priv, now, res)
+	}
+}
+
+// accessChecked: checker present, L2 TLB present. Identical to accessInner
+// with the `m.Checker != nil` and `m.STLB.Len() > 0` branches resolved at
+// compile time.
+func (m *MMU) accessChecked(va addr.VA, k perm.Access, priv perm.Priv, now uint64, res *Result) error {
+	vpn := va.Frame()
+	l1 := m.DTLB
+	if k == perm.Fetch {
+		l1 = m.ITLB
+	}
+	if e, ok := l1.Lookup(vpn); ok {
+		res.TLBHit = TLBHitL1
+		return m.finishFromTLB(res, e, va, k, priv, now)
+	}
+	res.Latency += m.STLB.Latency
+	if e, ok := m.STLB.Lookup(vpn); ok {
+		res.TLBHit = TLBHitL2
+		l1.Insert(*e)
+		return m.finishFromTLB(res, e, va, k, priv, now)
+	}
+	res.TLBHit = TLBMiss
+	return m.walkFillChecked(l1, vpn, va, k, priv, now, res)
+}
+
+// accessCheckedNoL2: checker present, no L2 TLB — the probe and its latency
+// charge are gone.
+func (m *MMU) accessCheckedNoL2(va addr.VA, k perm.Access, priv perm.Priv, now uint64, res *Result) error {
+	vpn := va.Frame()
+	l1 := m.DTLB
+	if k == perm.Fetch {
+		l1 = m.ITLB
+	}
+	if e, ok := l1.Lookup(vpn); ok {
+		res.TLBHit = TLBHitL1
+		return m.finishFromTLB(res, e, va, k, priv, now)
+	}
+	res.TLBHit = TLBMiss
+	return m.walkFillChecked(l1, vpn, va, k, priv, now, res)
+}
+
+// accessBare: no checker, L2 TLB present.
+func (m *MMU) accessBare(va addr.VA, k perm.Access, priv perm.Priv, now uint64, res *Result) error {
+	vpn := va.Frame()
+	l1 := m.DTLB
+	if k == perm.Fetch {
+		l1 = m.ITLB
+	}
+	if e, ok := l1.Lookup(vpn); ok {
+		res.TLBHit = TLBHitL1
+		return m.finishFromTLB(res, e, va, k, priv, now)
+	}
+	res.Latency += m.STLB.Latency
+	if e, ok := m.STLB.Lookup(vpn); ok {
+		res.TLBHit = TLBHitL2
+		l1.Insert(*e)
+		return m.finishFromTLB(res, e, va, k, priv, now)
+	}
+	res.TLBHit = TLBMiss
+	return m.walkFillBare(l1, vpn, va, k, priv, now, res)
+}
+
+// accessBareNoL2: no checker, no L2 TLB — the shortest pipeline.
+func (m *MMU) accessBareNoL2(va addr.VA, k perm.Access, priv perm.Priv, now uint64, res *Result) error {
+	vpn := va.Frame()
+	l1 := m.DTLB
+	if k == perm.Fetch {
+		l1 = m.ITLB
+	}
+	if e, ok := l1.Lookup(vpn); ok {
+		res.TLBHit = TLBHitL1
+		return m.finishFromTLB(res, e, va, k, priv, now)
+	}
+	res.TLBHit = TLBMiss
+	return m.walkFillBare(l1, vpn, va, k, priv, now, res)
+}
+
+// walkFillChecked is the TLB-miss tail for machines with a checker: walk,
+// physical check, TLB fill, data reference — accessInner steps 3–6 with the
+// checker branch taken unconditionally.
+func (m *MMU) walkFillChecked(l1 *tlb.L1, vpn uint64, va addr.VA, k perm.Access, priv perm.Priv, now uint64, res *Result) error {
+	res.Walked = true
+	res.Latency += m.cfg.WalkerBaseline
+	if err := m.Walker.WalkInto(m.Root, va, now+res.Latency, &res.Walk); err != nil {
+		return err
+	}
+	res.Latency += res.Walk.Latency
+	if res.Walk.AccessFault {
+		res.AccessFault = true
+		m.bump(m.hAccessFaultPT, "mmu.access_fault_pt")
+		return nil
+	}
+	if res.Walk.PageFault {
+		res.PageFault = true
+		m.bump(m.hPageFault, "mmu.page_fault")
+		return nil
+	}
+	tr := res.Walk.Translation
+	if !m.pagePermOK(tr.Perm, tr.User, k, priv) {
+		res.ProtFault = true
+		m.bump(m.hProtFault, "mmu.prot_fault")
+		return nil
+	}
+	chk, err := m.Checker.Check(tr.PA.PageBase(), addr.PageSize, k, priv, now+res.Latency)
+	if err != nil {
+		return err
+	}
+	res.Latency += chk.Latency
+	res.DataCheckRefs += chk.MemRefs
+	if !chk.Allowed {
+		res.AccessFault = true
+		m.bump(m.hAccessFaultData, "mmu.access_fault_data")
+		return nil
+	}
+	entry := tlb.Entry{
+		VPN:      vpn,
+		PFN:      tr.PA.Frame(),
+		Perm:     tr.Perm,
+		User:     tr.User,
+		PhysPerm: chk.PermFound,
+	}
+	l1.Insert(entry)
+	m.STLB.Insert(entry) // no-op on a zero-capacity L2
+	res.PA = tr.PA
+	m.dataAccess(res, k, now)
+	return nil
+}
+
+// walkFillBare is the TLB-miss tail for checker-less machines: the physical
+// check collapses to the static RWX grant of Fig. 2-a.
+func (m *MMU) walkFillBare(l1 *tlb.L1, vpn uint64, va addr.VA, k perm.Access, priv perm.Priv, now uint64, res *Result) error {
+	res.Walked = true
+	res.Latency += m.cfg.WalkerBaseline
+	if err := m.Walker.WalkInto(m.Root, va, now+res.Latency, &res.Walk); err != nil {
+		return err
+	}
+	res.Latency += res.Walk.Latency
+	if res.Walk.AccessFault {
+		res.AccessFault = true
+		m.bump(m.hAccessFaultPT, "mmu.access_fault_pt")
+		return nil
+	}
+	if res.Walk.PageFault {
+		res.PageFault = true
+		m.bump(m.hPageFault, "mmu.page_fault")
+		return nil
+	}
+	tr := res.Walk.Translation
+	if !m.pagePermOK(tr.Perm, tr.User, k, priv) {
+		res.ProtFault = true
+		m.bump(m.hProtFault, "mmu.prot_fault")
+		return nil
+	}
+	entry := tlb.Entry{
+		VPN:      vpn,
+		PFN:      tr.PA.Frame(),
+		Perm:     tr.Perm,
+		User:     tr.User,
+		PhysPerm: perm.RWX,
+	}
+	l1.Insert(entry)
+	m.STLB.Insert(entry) // no-op on a zero-capacity L2
+	res.PA = tr.PA
+	m.dataAccess(res, k, now)
+	return nil
+}

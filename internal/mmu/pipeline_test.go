@@ -1,0 +1,98 @@
+package mmu
+
+import (
+	"testing"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/fastpath"
+	"hpmp/internal/perm"
+)
+
+// withFastpath runs f with fastpath.Enabled forced to v, restoring the
+// previous value after. Safe here because no simulation is running across
+// the flip (the package contract).
+func withFastpath(v bool, f func()) {
+	prev := fastpath.Enabled
+	fastpath.Enabled = v
+	defer func() { fastpath.Enabled = prev }()
+	f()
+}
+
+// TestPipelineSelection pins which access pipeline New compiles for each
+// structural tuple (checker presence × L2 TLB presence), and that the
+// refpath reference always gets the generic one.
+func TestPipelineSelection(t *testing.T) {
+	cases := []struct {
+		name string
+		mode isoMode
+		l2   int
+		want PipelineKind
+	}{
+		{"bare", isoNone, 1024, PipelineBare},
+		{"bare-nol2", isoNone, 0, PipelineBareNoL2},
+		{"checked-pmp", isoPMP, 1024, PipelineChecked},
+		{"checked-pmpt", isoPMPT, 1024, PipelineChecked},
+		{"checked-hpmp", isoHPMP, 1024, PipelineChecked},
+		{"checked-nol2", isoHPMP, 0, PipelineCheckedNoL2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var fast, ref *rig
+			withFastpath(true, func() { fast = newRigL2(t, tc.mode, tc.l2) })
+			withFastpath(false, func() { ref = newRigL2(t, tc.mode, tc.l2) })
+			if got := fast.mmu.Pipeline(); got != tc.want {
+				t.Errorf("fastpath pipeline = %v, want %v", got, tc.want)
+			}
+			if got := ref.mmu.Pipeline(); got != PipelineGeneric {
+				t.Errorf("refpath pipeline = %v, want %v", got, PipelineGeneric)
+			}
+		})
+	}
+}
+
+// TestZeroCapacityPipelineRoundTrip extends the zero-capacity sweeps to the
+// pipeline compiler: a machine with no L2 TLB (and no PWC — the rig default)
+// must translate, fill, hit, and flush exactly like any other, under both
+// the specialized and the generic pipeline.
+func TestZeroCapacityPipelineRoundTrip(t *testing.T) {
+	for _, fp := range []bool{true, false} {
+		name := "refpath"
+		if fp {
+			name = "fastpath"
+		}
+		t.Run(name, func(t *testing.T) {
+			withFastpath(fp, func() {
+				for _, mode := range []isoMode{isoNone, isoPMP, isoPMPT, isoHPMP} {
+					r := newRigL2(t, mode, 0)
+					if n := r.mmu.STLB.Len(); n != 0 {
+						t.Fatalf("mode %v: STLB has %d entries, want 0", mode, n)
+					}
+					va := addr.VA(0x4000_0000)
+					r.mapPage(t, va, perm.RW, true)
+
+					res, err := r.access(va, perm.Read, perm.U, 0)
+					if err != nil || res.Faulted() {
+						t.Fatalf("mode %v: cold access: %+v, %v", mode, res, err)
+					}
+					if !res.Walked {
+						t.Fatalf("mode %v: cold access must walk", mode)
+					}
+					res, err = r.access(va, perm.Read, perm.U, 0)
+					if err != nil || res.Faulted() || res.TLBHit != TLBHitL1 {
+						t.Fatalf("mode %v: warm access must hit L1: %+v, %v", mode, res, err)
+					}
+					// An absent L2 never serves hits: after an L1 flush the
+					// access walks again instead of hitting L2.
+					r.mmu.FlushTLB()
+					res, err = r.access(va, perm.Read, perm.U, 0)
+					if err != nil || res.Faulted() {
+						t.Fatalf("mode %v: post-flush access: %+v, %v", mode, res, err)
+					}
+					if res.TLBHit != TLBMiss || !res.Walked {
+						t.Fatalf("mode %v: post-flush access must miss and walk, got %+v", mode, res)
+					}
+				}
+			})
+		})
+	}
+}

@@ -57,6 +57,20 @@ type Walker struct {
 	// per level — the PWC-hit zero-alloc pin covers it.
 	Trace *obs.Tracer
 
+	// fetch is the compiled PTE-fetch step: one of four variants with the
+	// per-fetch `PWC != nil` / `Checker != nil` branches resolved at
+	// construction (Recompile), or the generic fetchPTE on the reference
+	// path. levels / canonShift / canonOnes are the Sv-geometry facts the
+	// walk loop would otherwise re-derive per walk through Mode's switches.
+	// All are set by Recompile: New calls it, and WalkInto/WalkBookkeeping
+	// compile lazily for struct-literal walkers. Anyone mutating Mode,
+	// Checker, or PWC after construction must call Recompile.
+	fetch      fetchKind
+	compiled   bool
+	levels     int
+	canonShift uint8 // 0 = every VA is canonical (Bare)
+	canonOnes  uint64
+
 	// Hot-path counter handles, resolved once in New.
 	hPWCHit, hPTEFetch, hWalkOK, hPageFault, hAccessFault *uint64
 
@@ -82,7 +96,80 @@ func New(mode addr.Mode, port memport.Port, checker Checker, pwcEntries int) *Wa
 	w.hWalkOK = w.Counters.Handle("ptw.walk_ok")
 	w.hPageFault = w.Counters.Handle("ptw.page_fault")
 	w.hAccessFault = w.Counters.Handle("ptw.access_fault")
+	w.Recompile()
 	return w
+}
+
+// fetchKind names one compiled PTE-fetch variant; see Recompile. Dispatch
+// is a switch on this one-byte kind rather than a stored function pointer:
+// an indirect call would defeat escape analysis on the *Result out-param
+// and heap-allocate every Walk's local Result (the zero-alloc pins gate
+// exactly that), while direct calls behind a predictable switch keep it on
+// the stack.
+type fetchKind uint8
+
+const (
+	fetchGeneric fetchKind = iota // the reference fetchPTE, every branch live
+	fetchCheckedPWC
+	fetchChecked
+	fetchPWC
+	fetchBare
+)
+
+// Recompile re-derives the walker's compiled state from its current Mode,
+// Checker, and PWC fields: the specialized fetch variant (fast path) or the
+// generic fetchPTE (reference path), plus the geometry constants the walk
+// loop uses in place of Mode's per-call switches. New calls it; callers
+// that mutate those fields afterwards must call it again.
+func (w *Walker) Recompile() {
+	w.compiled = true
+	w.levels = w.Mode.Levels()
+	if w.Mode == addr.Bare {
+		w.canonShift = 0
+	} else {
+		bits := w.Mode.VABits()
+		w.canonShift = uint8(bits - 1)
+		w.canonOnes = uint64(1)<<(64-bits+1) - 1
+	}
+	if !fastpath.Enabled {
+		w.fetch = fetchGeneric
+		return
+	}
+	switch {
+	case w.Checker != nil && w.PWC != nil:
+		w.fetch = fetchCheckedPWC
+	case w.Checker != nil:
+		w.fetch = fetchChecked
+	case w.PWC != nil:
+		w.fetch = fetchPWC
+	default:
+		w.fetch = fetchBare
+	}
+}
+
+// fetchDispatch runs the PTE-fetch variant compiled by Recompile.
+func (w *Walker) fetchDispatch(pteAddr addr.PA, now uint64, res *Result) (uint64, bool, error) {
+	switch w.fetch {
+	case fetchCheckedPWC:
+		return w.fetchCheckedPWC(pteAddr, now, res)
+	case fetchChecked:
+		return w.fetchChecked(pteAddr, now, res)
+	case fetchPWC:
+		return w.fetchPWC(pteAddr, now, res)
+	case fetchBare:
+		return w.fetchBare(pteAddr, now, res)
+	default:
+		return w.fetchPTE(pteAddr, now, res)
+	}
+}
+
+// canonical is Mode.Canonical with the mode switch compiled away.
+func (w *Walker) canonical(va addr.VA) bool {
+	if w.canonShift == 0 {
+		return true
+	}
+	top := uint64(va) >> w.canonShift
+	return top == 0 || top == w.canonOnes
 }
 
 // bump increments a pre-resolved handle on the fast path, or performs the
@@ -157,6 +244,11 @@ func (w *Walker) Walk(root addr.PA, va addr.VA, now uint64) (Result, error) {
 func (w *Walker) WalkInto(root addr.PA, va addr.VA, now uint64, out *Result) error {
 	var err error
 	*out = Result{}
+	if !w.compiled {
+		// Struct-literal walkers (tests) compile on first walk, like the
+		// pmpt walker's lazy handles.
+		w.Recompile()
+	}
 	if w.Trace != nil {
 		err = w.walkTraced(root, va, now, out)
 	} else {
@@ -177,6 +269,9 @@ func (w *Walker) WalkInto(root addr.PA, va addr.VA, now uint64, out *Result) err
 // is reserved for hardware-initiated walks.
 func (w *Walker) WalkBookkeeping(root addr.PA, va addr.VA, now uint64, out *Result) error {
 	*out = Result{}
+	if !w.compiled {
+		w.Recompile()
+	}
 	if w.Trace != nil {
 		return w.walkTraced(root, va, now, out)
 	}
@@ -186,16 +281,16 @@ func (w *Walker) WalkBookkeeping(root addr.PA, va addr.VA, now uint64, out *Resu
 // walkFast is the untraced walk loop; Walk dispatches here when no tracer
 // is attached.
 func (w *Walker) walkFast(root addr.PA, va addr.VA, now uint64, res *Result) error {
-	if !w.Mode.Canonical(va) {
+	if !w.canonical(va) {
 		res.PageFault = true
-		res.FaultLevel = w.Mode.Levels() - 1
+		res.FaultLevel = w.levels - 1
 		w.bump(w.hPageFault, "ptw.page_fault")
 		return nil
 	}
 	base := root
-	for level := w.Mode.Levels() - 1; level >= 0; level-- {
+	for level := w.levels - 1; level >= 0; level-- {
 		pteAddr := base + addr.PA(w.Mode.VPN(va, level)*8)
-		raw, hit, err := w.fetchPTE(pteAddr, now, res)
+		raw, hit, err := w.fetchDispatch(pteAddr, now, res)
 		if err != nil {
 			return err
 		}
@@ -313,6 +408,97 @@ func (w *Walker) fetchPTE(pteAddr addr.PA, now uint64, res *Result) (raw uint64,
 	if w.PWC != nil && pt.PTE(v).Valid() {
 		w.PWC.Insert(pteAddr, v)
 	}
+	return v, false, nil
+}
+
+// The four compiled fetch variants below are fetchPTE with the `PWC != nil`
+// and `Checker != nil` branches resolved at Recompile time. Each must stay
+// observably identical to fetchPTE under its structural assumptions —
+// counters, latency charges, PWC fills, fault behavior — and the refpath
+// differential matrix in internal/integration gates exactly that.
+
+// fetchCheckedPWC: checker and PWC both present (the isolated-machine common
+// case).
+func (w *Walker) fetchCheckedPWC(pteAddr addr.PA, now uint64, res *Result) (uint64, bool, error) {
+	if v, ok := w.PWC.Lookup(pteAddr); ok {
+		res.PWCHits++
+		w.bump(w.hPWCHit, "ptw.pwc_hit")
+		return v, true, nil
+	}
+	chk, err := w.Checker.Check(pteAddr, 8, perm.Read, w.Priv, now+res.Latency)
+	if err != nil {
+		return 0, false, err
+	}
+	res.Latency += chk.Latency
+	res.PTCheckRefs += chk.MemRefs
+	if !chk.Allowed {
+		res.AccessFault = true
+		return 0, false, nil
+	}
+	v, lat, err := w.Port.Read64(pteAddr, now+res.Latency)
+	if err != nil {
+		return 0, false, err
+	}
+	res.Latency += lat
+	res.PTRefs++
+	w.bump(w.hPTEFetch, "ptw.pte_fetch")
+	if pt.PTE(v).Valid() {
+		w.PWC.Insert(pteAddr, v)
+	}
+	return v, false, nil
+}
+
+// fetchChecked: checker present, no PWC.
+func (w *Walker) fetchChecked(pteAddr addr.PA, now uint64, res *Result) (uint64, bool, error) {
+	chk, err := w.Checker.Check(pteAddr, 8, perm.Read, w.Priv, now+res.Latency)
+	if err != nil {
+		return 0, false, err
+	}
+	res.Latency += chk.Latency
+	res.PTCheckRefs += chk.MemRefs
+	if !chk.Allowed {
+		res.AccessFault = true
+		return 0, false, nil
+	}
+	v, lat, err := w.Port.Read64(pteAddr, now+res.Latency)
+	if err != nil {
+		return 0, false, err
+	}
+	res.Latency += lat
+	res.PTRefs++
+	w.bump(w.hPTEFetch, "ptw.pte_fetch")
+	return v, false, nil
+}
+
+// fetchPWC: PWC present, no checker (Fig. 2-a machines).
+func (w *Walker) fetchPWC(pteAddr addr.PA, now uint64, res *Result) (uint64, bool, error) {
+	if v, ok := w.PWC.Lookup(pteAddr); ok {
+		res.PWCHits++
+		w.bump(w.hPWCHit, "ptw.pwc_hit")
+		return v, true, nil
+	}
+	v, lat, err := w.Port.Read64(pteAddr, now+res.Latency)
+	if err != nil {
+		return 0, false, err
+	}
+	res.Latency += lat
+	res.PTRefs++
+	w.bump(w.hPTEFetch, "ptw.pte_fetch")
+	if pt.PTE(v).Valid() {
+		w.PWC.Insert(pteAddr, v)
+	}
+	return v, false, nil
+}
+
+// fetchBare: no checker, no PWC — a raw memory fetch per PTE.
+func (w *Walker) fetchBare(pteAddr addr.PA, now uint64, res *Result) (uint64, bool, error) {
+	v, lat, err := w.Port.Read64(pteAddr, now+res.Latency)
+	if err != nil {
+		return 0, false, err
+	}
+	res.Latency += lat
+	res.PTRefs++
+	w.bump(w.hPTEFetch, "ptw.pte_fetch")
 	return v, false, nil
 }
 

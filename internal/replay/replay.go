@@ -80,12 +80,20 @@ type Config struct {
 	// < 0 disables the structure (0 entries).
 	L2TLBEntries int
 	PWCEntries   int
-	// PMPTWCache enables the permission-table walker cache (built disabled,
-	// as in the paper's default methodology).
-	PMPTWCache bool
+	// PMPTWCache > 0 enables the permission-table walker cache with that
+	// many entries (overriding the platform's geometry); 0 keeps the
+	// platform default structure built but disabled, as in the paper's
+	// default methodology; < 0 builds a zero-capacity cache (structurally
+	// absent).
+	PMPTWCache int
 	// TableDepth is the permission-table depth for ModePMPT/ModeHPMP:
 	// 0 or 2 = the base 2-level table, 3/4 = the §4.3 Mode-field extension.
 	TableDepth int
+	// Scalar drains blocks through the scalar mmu.Access entry point — one
+	// call per reference with the same per-access accounting — instead of
+	// mmu.AccessBatch. The pipeline differential matrix uses it to prove
+	// both entry points byte-identical on every compiled variant.
+	Scalar bool
 }
 
 // DefaultConfig is the canonical replay target: the in-order platform under
@@ -145,8 +153,11 @@ func (c Config) String() string {
 	if c.PWCEntries != 0 {
 		s += fmt.Sprintf(" pwc=%d", c.PWCEntries)
 	}
-	if c.PMPTWCache {
-		s += " pmptw-cache"
+	if c.PMPTWCache != 0 {
+		s += fmt.Sprintf(" pmptw-cache=%d", c.PMPTWCache)
+	}
+	if c.Scalar {
+		s += " scalar"
 	}
 	return s
 }
@@ -254,13 +265,18 @@ func New(cfg Config) (*Engine, error) {
 	} else if cfg.PWCEntries < 0 {
 		plat.MMU.PWCEntries = 0
 	}
+	if cfg.PMPTWCache > 0 {
+		plat.PMPTWCacheEntries = cfg.PMPTWCache
+	} else if cfg.PMPTWCache < 0 {
+		plat.PMPTWCacheEntries = 0
+	}
 
 	var mach *cpu.Machine
 	if cfg.Mode == ModeNone {
 		mach = cpu.NewMachineNoIsolation(plat, cfg.MemSize)
 	} else {
 		mach = cpu.NewMachine(plat, cfg.MemSize)
-		if cfg.PMPTWCache && mach.PMPTWCache != nil {
+		if cfg.PMPTWCache > 0 && mach.PMPTWCache != nil {
 			mach.PMPTWCache.Enabled = true
 		}
 	}
@@ -281,6 +297,9 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("replay: building page table: %w", err)
 	}
 	e.tbl = tbl
+	// SetRoot's flush contract is trivially met here: the machine was
+	// assembled above and has never translated, so every TLB level and
+	// fastpath memo is empty — there is no stale state a flush could clear.
 	mach.MMU.SetRoot(tbl.Root())
 
 	if err := e.programIsolation(ptRegion, pmptRegion); err != nil {
@@ -505,7 +524,15 @@ func (e *Engine) Flush() error {
 		return nil
 	}
 	n := e.n
-	now, err := e.mach.MMU.AccessBatch(e.reqs[:n], e.out[:n], e.now)
+	var (
+		now uint64
+		err error
+	)
+	if e.cfg.Scalar {
+		now, err = e.drainScalar(n)
+	} else {
+		now, err = e.mach.MMU.AccessBatch(e.reqs[:n], e.out[:n], e.now)
+	}
 	if err != nil {
 		return fmt.Errorf("replay: batch at event %d: %w", e.Stats.Events, err)
 	}
@@ -536,6 +563,20 @@ func (e *Engine) Flush() error {
 
 // diverge records one replayed-vs-recorded mismatch. Only the first gets
 // the (allocating) human rendering.
+// drainScalar issues the queued block one mmu.Access at a time, advancing
+// the clock per reference exactly as AccessBatch does.
+func (e *Engine) drainScalar(n int) (uint64, error) {
+	now := e.now
+	for i := 0; i < n; i++ {
+		r := &e.reqs[i]
+		if err := e.mach.MMU.Access(r.VA, r.Kind, r.Priv, now, &e.out[i]); err != nil {
+			return now, err
+		}
+		now += e.out[i].Latency
+	}
+	return now, nil
+}
+
 func (e *Engine) diverge(i int, why string) {
 	e.Stats.Divergences++
 	if e.Stats.First == "" {

@@ -153,8 +153,16 @@ func TestReplayAllModes(t *testing.T) {
 		{"hpmp", func(c *Config) { c.Mode = ModeHPMP }, []string{"hpmp.segment_check", "hpmp.table_check"}},
 		{"pmpt-depth3", func(c *Config) { c.Mode = ModePMPT; c.TableDepth = 3 }, []string{"pmptw.walk"}},
 		{"hpmp-depth4", func(c *Config) { c.Mode = ModeHPMP; c.TableDepth = 4 }, []string{"pmptw.walk"}},
-		{"boom-pmptw-cache", func(c *Config) { c.Platform = "boom"; c.Mode = ModePMPT; c.PMPTWCache = true }, []string{"pmptw.cache_hit"}},
+		{"boom-pmptw-cache", func(c *Config) { c.Platform = "boom"; c.Mode = ModePMPT; c.PMPTWCache = 8 }, []string{"pmptw.cache_hit"}},
 		{"tiny-tlb", func(c *Config) { c.L2TLBEntries = 4; c.PWCEntries = -1 }, []string{"stlb.miss"}},
+		// Every cache structure explicitly absent: the pipeline compiler must
+		// produce a legal no-op-cache machine (ISSUE 8 degenerate sweep).
+		{"no-caches", func(c *Config) {
+			c.Mode = ModePMPT
+			c.L2TLBEntries = -1
+			c.PWCEntries = -1
+			c.PMPTWCache = -1
+		}, []string{"ptw.walk_ok", "hpmp.table_check"}},
 	}
 	evs := syntheticTrace()
 	for _, v := range variants {

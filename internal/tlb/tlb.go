@@ -177,9 +177,11 @@ type L2 struct {
 }
 
 // NewL2 builds a direct-mapped TLB with n entries (n must be a power of
-// two) and the given access latency.
+// two) and the given access latency. n = 0 is legal and models a machine
+// without a second TLB level: the structure stores nothing, and the MMU's
+// compiled pipelines skip the probe (and its latency charge) entirely.
 func NewL2(name string, n int, latency uint64) *L2 {
-	if !addr.IsPow2(uint64(n)) {
+	if n != 0 && !addr.IsPow2(uint64(n)) {
 		panic("tlb: L2 size must be a power of two")
 	}
 	t := &L2{name: name, entries: make([]Entry, n), Latency: latency}
@@ -191,8 +193,14 @@ func NewL2(name string, n int, latency uint64) *L2 {
 func (t *L2) slot(vpn uint64) *Entry { return &t.entries[vpn%uint64(len(t.entries))] }
 
 // Lookup probes the direct-mapped array. As with L1.Lookup, the returned
-// pointer aliases the slot and is read-only for the caller.
+// pointer aliases the slot and is read-only for the caller. A zero-capacity
+// L2 misses without bumping counters: an absent structure performs no probe,
+// and the MMU pipelines never call Lookup on one — the guard here keeps a
+// direct caller from dividing by zero in slot().
 func (t *L2) Lookup(vpn uint64) (*Entry, bool) {
+	if len(t.entries) == 0 {
+		return nil, false
+	}
 	e := t.slot(vpn)
 	if e.valid && e.VPN == vpn {
 		if fastpath.Enabled {
@@ -211,7 +219,11 @@ func (t *L2) Lookup(vpn uint64) (*Entry, bool) {
 }
 
 // Insert fills the slot for e.VPN (direct-mapped: unconditional replace).
+// A zero-capacity L2 no-ops, like L1.Insert.
 func (t *L2) Insert(e Entry) {
+	if len(t.entries) == 0 {
+		return
+	}
 	e.valid = true
 	*t.slot(e.VPN) = e
 }
@@ -225,6 +237,9 @@ func (t *L2) FlushAll() {
 
 // FlushVPN invalidates the slot if it holds vpn.
 func (t *L2) FlushVPN(vpn uint64) {
+	if len(t.entries) == 0 {
+		return
+	}
 	e := t.slot(vpn)
 	if e.valid && e.VPN == vpn {
 		*e = Entry{}
