@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race smoke obs-smoke replay-smoke pipelines-smoke fuzz bench eval eval-quick examples metrics-baseline metrics-diff clean
+.PHONY: all build vet test test-short race smoke obs-smoke replay-smoke pipelines-smoke daemon-smoke fuzz bench eval eval-quick examples metrics-baseline metrics-diff clean
 
 all: build vet test race smoke fuzz
 
@@ -73,6 +73,14 @@ pipelines-smoke:
 		-id fig10-nocache replay obs-out/pipelines/traces/fig10.trace.jsonl > /dev/null
 	$(GO) run ./cmd/hpmpsim -mode hpmp -scalar -id fig10-scalar \
 		replay obs-out/pipelines/traces/fig10.trace.jsonl > /dev/null
+
+# Daemon smoke: the hermetic end-to-end test of the real hpmpsimd binary —
+# boot on an ephemeral port, submit a traced quick experiment job and a
+# replay job over HTTP, poll both to done, scrape /metrics, download the
+# trace and verify it with `hpmptrace -replay-check`, then SIGTERM and
+# require a clean drain (exit 0). See cmd/hpmpsimd/smoke_test.go.
+daemon-smoke:
+	$(GO) test -run TestDaemonSmoke -count=1 -v ./cmd/hpmpsimd
 
 # Short fuzz pass over the register-format round trips and the PMPTW
 # walker-vs-oracle cross-check (go test -fuzz takes one target at a time).

@@ -49,7 +49,7 @@ import (
 	"hpmp/internal/addr"
 	"hpmp/internal/bench"
 	"hpmp/internal/obs"
-	"hpmp/internal/replay"
+	"hpmp/internal/simcfg"
 )
 
 func main() {
@@ -66,7 +66,6 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run scaled-down experiment sizes")
 	csv := fs.Bool("csv", false, "emit CSV tables (plus per-experiment counter snapshots)")
-	memMiB := fs.Uint64("mem", 512, "simulated DRAM size in MiB")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "concurrent experiments for 'run' (1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "per-experiment wall-time limit (0 = none)")
 	metricsDir := fs.String("metrics-dir", "", "write per-experiment metrics (<id>.json + <id>.prom) into this directory")
@@ -77,15 +76,9 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	diffJSON := fs.String("diff-json", "", "with 'diff', also write the machine-readable verdict to this file")
 	wallTol := fs.Float64("wall-tol", 0, "with 'diff', fail on wall-time drift beyond this fraction (0 = report only)")
-	rPlatform := fs.String("platform", "rocket", "with 'replay', target platform (rocket or boom)")
-	rMode := fs.String("mode", "hpmp", "with 'replay', isolation mode (none, pmp, pmpt, hpmp)")
-	rL2TLB := fs.Int("l2tlb", -1, "with 'replay', L2 TLB entries (0 = no L2 TLB, <0 = platform default)")
-	rPWC := fs.Int("pwc", -1, "with 'replay', page-walk cache entries (0 = no PWC, <0 = platform default)")
-	rPMPTWCache := fs.Int("pmptw-cache", 0, "with 'replay', PMPT walker cache entries (0 = disabled, the paper default)")
-	rDepth := fs.Int("depth", 0, "with 'replay', permission-table depth (0 = default, 2, 3, or 4)")
+	mf := simcfg.AddFlags(fs, "with 'replay', ")
 	rID := fs.String("id", "replay", "with 'replay', experiment id used for metrics artifacts")
 	rOutTrace := fs.String("out-trace", "", "with 'replay', capture the replay's own unsampled trace to this file")
-	rScalar := fs.Bool("scalar", false, "with 'replay', drain accesses one mmu.Access at a time instead of AccessBatch")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -98,7 +91,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 	cfg := bench.DefaultConfig()
 	cfg.Quick = *quick
-	cfg.MemSize = *memMiB * addr.MiB
+	cfg.MemSize = *mf.MemMiB * addr.MiB
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintf(stderr, "hpmpsim: %v\n", err)
 		return 2
@@ -178,30 +171,10 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "hpmpsim: replay requires exactly one trace file: replay [flags] <trace.jsonl>")
 			return 2
 		}
-		// CLI geometry flags read naturally (0 = the structure is absent,
-		// negative = platform default); Config encodes absence as a negative
-		// override and default as 0, so remap here.
-		capFlag := func(v int) int {
-			switch {
-			case v < 0:
-				return 0 // platform default
-			case v == 0:
-				return -1 // explicitly absent: zero-capacity structure
-			default:
-				return v
-			}
-		}
-		rcfg := replay.Config{
-			Platform:     *rPlatform,
-			Mode:         replay.Mode(*rMode),
-			MemSize:      *memMiB * addr.MiB,
-			L2TLBEntries: capFlag(*rL2TLB),
-			PWCEntries:   capFlag(*rPWC),
-			PMPTWCache:   *rPMPTWCache,
-			TableDepth:   *rDepth,
-			Scalar:       *rScalar,
-		}
-		return runReplay(args[1], rcfg, *rID, *metricsDir, *rOutTrace, stdout, stderr)
+		// simcfg.Flags owns the CLI geometry convention (0 = the structure
+		// is absent, negative = platform default) and its remap onto the
+		// internal tri-state.
+		return runReplay(args[1], mf.Machine(), *rID, *metricsDir, *rOutTrace, stdout, stderr)
 	case "diff":
 		if len(args) != 3 {
 			fmt.Fprintln(stderr, "hpmpsim: diff requires exactly two metrics directories: diff <baseline-dir> <current-dir>")

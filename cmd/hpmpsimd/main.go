@@ -1,0 +1,96 @@
+// Command hpmpsimd serves simulations: a multi-tenant daemon over the
+// experiment harness and the replay engine, on the unified machine-config
+// API (internal/simcfg). Tenants submit jobs over HTTP, poll status,
+// download hpmp-metrics/v1 results and hpmp-trace/v1 traces, and scrape
+// live Prometheus metrics.
+//
+// Usage:
+//
+//	hpmpsimd -addr 127.0.0.1:8080
+//	hpmpsimd -workers 8 -queue 32
+//
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"kind":"run","experiments":["fig10"],"quick":true}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s localhost:8080/metrics
+//
+// SIGTERM/SIGINT drain gracefully: intake stops (new POSTs answer 503),
+// queued and running jobs finish, then the process exits 0. Jobs still
+// running when -drain-timeout expires are canceled and the exit is
+// nonzero. See internal/serve for the API and DESIGN.md §9 for the
+// architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hpmp/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("hpmpsimd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 4, "concurrent tenant jobs")
+	queue := fs.Int("queue", 16, "queued jobs beyond the running ones (full queue answers 503)")
+	drainTimeout := fs.Duration("drain-timeout", 60*time.Second, "on SIGTERM, bound on waiting for queued+running jobs")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	logger := log.New(os.Stderr, "hpmpsimd: ", log.LstdFlags)
+
+	s := serve.New(serve.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Logf:       logger.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("%v", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	// The bound address on stdout lets scripts use -addr :0.
+	fmt.Printf("hpmpsimd listening on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		logger.Printf("received %v, draining (timeout %v)", got, *drainTimeout)
+	case err := <-serveErr:
+		logger.Printf("listener failed: %v", err)
+		return 1
+	}
+
+	// Stop intake first so the drain cannot be outrun by new submissions,
+	// then close the listener, then wait for the queue to empty.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		logger.Printf("%v", drainErr)
+		return 1
+	}
+	logger.Printf("drained cleanly")
+	return 0
+}

@@ -1,0 +1,213 @@
+// End-to-end smoke for the daemon binary: builds the real hpmpsimd and
+// hpmptrace executables, boots the daemon on an ephemeral port, and
+// drives the full tenant loop over real HTTP — submit a traced quick
+// experiment, poll to completion, scrape /metrics, download the trace
+// and verify it with `hpmptrace -replay-check`, replay it back through a
+// replay job, then SIGTERM and require a clean drain (exit 0).
+//
+// This is what `make daemon-smoke` (and the CI daemon-smoke job) runs.
+// It is skipped under -short: it compiles binaries and runs a quick
+// experiment, so it belongs in the full tier.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hpmp/internal/obs"
+	"hpmp/internal/serve"
+)
+
+// buildBinary compiles one command of this module into dir and returns
+// the executable path.
+func buildBinary(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "hpmp/"+pkg)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// daemon wraps the running hpmpsimd process under test.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port
+	stderr *bytes.Buffer
+}
+
+// startDaemon boots hpmpsimd on an ephemeral port and parses the bound
+// address off its stdout announcement line.
+func startDaemon(t *testing.T, bin string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Wait()
+		t.Fatalf("daemon exited before announcing its address\nstderr: %s", stderr.String())
+	}
+	line := sc.Text()
+	const prefix = "hpmpsimd listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected announcement %q", line)
+	}
+	// Drain the rest of stdout so the child never blocks on a full pipe.
+	go io.Copy(io.Discard, stdout)
+	return &daemon{cmd: cmd, base: "http://" + strings.TrimPrefix(line, prefix), stderr: &stderr}
+}
+
+// submit POSTs one job body and returns the accepted job ID.
+func (d *daemon) submit(t *testing.T, body string) string {
+	t.Helper()
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var st serve.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("parsing accept response: %v\n%s", err, raw)
+	}
+	return st.ID
+}
+
+// get fetches one endpoint and returns the body, failing on non-200.
+func (d *daemon) get(t *testing.T, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", path, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+// waitDone polls the job until it leaves the live states and requires it
+// to land in state done.
+func (d *daemon) waitDone(t *testing.T, id string) serve.Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		var st serve.Status
+		if err := json.Unmarshal(d.get(t, "/v1/jobs/"+id), &st); err != nil {
+			t.Fatalf("parsing status of %s: %v", id, err)
+		}
+		switch st.State {
+		case serve.StateQueued, serve.StateRunning:
+			time.Sleep(50 * time.Millisecond)
+		case serve.StateDone:
+			return st
+		default:
+			t.Fatalf("job %s: state %s (%s)", id, st.State, st.Error)
+		}
+	}
+	t.Fatalf("job %s: still not terminal after 2m", id)
+	return serve.Status{}
+}
+
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs a quick experiment; skipped under -short")
+	}
+	dir := t.TempDir()
+	simd := buildBinary(t, dir, "cmd/hpmpsimd")
+	htrace := buildBinary(t, dir, "cmd/hpmptrace")
+
+	d := startDaemon(t, simd, "-workers", "2", "-queue", "4")
+
+	// 1. A traced quick experiment job, fully sampled so the trace
+	// satisfies the replay-check round-trip property.
+	runID := d.submit(t, `{"kind":"run","experiments":["fig10"],"quick":true,"trace":true,"trace_every":1}`)
+	st := d.waitDone(t, runID)
+	if len(st.Results) != 1 || st.Results[0].Experiment != "fig10" {
+		t.Fatalf("run job results: %+v", st.Results)
+	}
+
+	// 2. The live scrape must be exposing the tenant's counters by now.
+	prom := string(d.get(t, "/metrics"))
+	for _, want := range []string{
+		"# TYPE hpmpsimd_jobs gauge",
+		"hpmpsimd_queue_capacity 4",
+		fmt.Sprintf("hpmp_tenant_counter{job=%q,experiment=\"fig10\"", runID),
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+
+	// 3. Download the trace and verify it with the real hpmptrace binary.
+	trace := d.get(t, "/v1/jobs/"+runID+"/trace")
+	tracePath := filepath.Join(dir, "fig10.trace.jsonl")
+	if err := os.WriteFile(tracePath, trace, 0o644); err != nil {
+		t.Fatalf("writing trace: %v", err)
+	}
+	if out, err := exec.Command(htrace, "-replay-check", tracePath).CombinedOutput(); err != nil {
+		t.Fatalf("hpmptrace -replay-check: %v\n%s", err, out)
+	}
+
+	// 4. Replay the downloaded trace back through a replay job and check
+	// the result parses as hpmp-metrics/v1.
+	body, err := json.Marshal(map[string]any{
+		"kind": "replay", "id": "fig10-rt", "trace_jsonl": string(trace),
+	})
+	if err != nil {
+		t.Fatalf("marshaling replay body: %v", err)
+	}
+	repID := d.submit(t, string(body))
+	d.waitDone(t, repID)
+	m, err := obs.ReadMetrics(bytes.NewReader(d.get(t, "/v1/jobs/"+repID+"/metrics")))
+	if err != nil {
+		t.Fatalf("replay job metrics: %v", err)
+	}
+	if m.Experiment != "fig10-rt" {
+		t.Fatalf("replay metrics experiment %q, want fig10-rt", m.Experiment)
+	}
+
+	// 5. Clean shutdown: SIGTERM must drain and exit 0.
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v\nstderr: %s", err, d.stderr.String())
+	}
+	if !strings.Contains(d.stderr.String(), "drained cleanly") {
+		t.Fatalf("daemon log missing clean-drain line:\n%s", d.stderr.String())
+	}
+}

@@ -24,12 +24,11 @@ import (
 	"os"
 	"reflect"
 
-	"hpmp/internal/addr"
-	"hpmp/internal/cpu"
 	"hpmp/internal/kernel"
 	"hpmp/internal/monitor"
 	"hpmp/internal/obs"
 	"hpmp/internal/replay"
+	"hpmp/internal/simcfg"
 	"hpmp/internal/trace"
 	"hpmp/internal/workloads"
 )
@@ -49,9 +48,8 @@ func catalog() map[string]workloads.Workload {
 }
 
 func main() {
-	modeFlag := flag.String("mode", "hpmp", "isolation mode: pmp | pmpt | hpmp")
+	mf := simcfg.AddFlags(flag.CommandLine, "")
 	wlFlag := flag.String("workload", "qsort", "workload name (see -list)")
-	platFlag := flag.String("platform", "rocket", "platform: rocket | boom")
 	csvPath := flag.String("csv", "", "write the retained event ring as CSV to this file")
 	tracePath := flag.String("trace", "", "write the retained event ring as a JSONL trace (hpmp-trace/v1) to this file")
 	readPath := flag.String("read", "", "pretty-print a JSONL trace file and exit (no simulation)")
@@ -85,30 +83,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hpmptrace: unknown workload %q (try -list)\n", *wlFlag)
 		os.Exit(2)
 	}
-	var mode monitor.Mode
-	switch *modeFlag {
-	case "pmp":
-		mode = monitor.ModePMP
-	case "pmpt":
-		mode = monitor.ModePMPT
-	case "hpmp":
-		mode = monitor.ModeHPMP
-	default:
-		fmt.Fprintf(os.Stderr, "hpmptrace: unknown mode %q\n", *modeFlag)
+	m := mf.Machine()
+	if err := m.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "hpmptrace: %v\n", err)
 		os.Exit(2)
 	}
-	plat := cpu.RocketPlatform()
-	if *platFlag == "boom" {
-		plat = cpu.BOOMPlatform()
+	mode, ok := m.Mode.MonitorMode()
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hpmptrace: unknown mode %q\n", m.Mode)
+		os.Exit(2)
 	}
 
-	const memSize = 512 * addr.MiB
-	mach := cpu.NewMachine(plat, memSize)
+	mach := m.Assemble()
+	plat := mach.Plat
 	mon, err := monitor.Boot(mach, monitor.DefaultConfig(mode))
 	if err != nil {
 		fatal(err)
 	}
-	k, err := kernel.New(mach, mon, kernel.DefaultConfig(memSize))
+	k, err := kernel.New(mach, mon, kernel.DefaultConfig(m.MemSize))
 	if err != nil {
 		fatal(err)
 	}

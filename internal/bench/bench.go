@@ -18,6 +18,7 @@ import (
 	"hpmp/internal/monitor"
 	"hpmp/internal/obs"
 	"hpmp/internal/perm"
+	"hpmp/internal/simcfg"
 	"hpmp/internal/stats"
 )
 
@@ -25,8 +26,16 @@ import (
 type Config struct {
 	// Quick shrinks workload sizes for CI and `go test -bench`.
 	Quick bool
-	// MemSize is the simulated DRAM size.
-	MemSize uint64
+	// Machine is the unified machine configuration (internal/simcfg).
+	// Experiments pick their own platform and isolation mode per paper
+	// figure, so only MemSize and the cache-geometry overrides apply to
+	// the systems they boot; Platform/Mode carry the canonical defaults.
+	// Embedded, so the historical cfg.MemSize spelling keeps working.
+	simcfg.Machine
+	// Workload scales the traffic-side workloads beyond the paper's
+	// defaults (miniredis keyspace/request count, serverless invocation
+	// reps, cold-start flood size). Zero value = tier defaults.
+	Workload simcfg.WorkloadScale
 
 	// obs, when set by the runner, collects counters from every System and
 	// machine the experiment boots. Config is passed by value, so the
@@ -38,25 +47,23 @@ type Config struct {
 	tracer *obs.Tracer
 }
 
-// MinMemSize is the smallest simulated DRAM size the harness accepts. The
-// monitor's table pool, the kernel's page-table pool, and the workload
-// heaps all carve fixed regions out of DRAM; below this floor experiments
-// fail deep inside the allocators instead of at the flag.
-const MinMemSize = 64 * addr.MiB
+// MinMemSize is the smallest simulated DRAM size the harness accepts —
+// simcfg's floor, re-exported for call-site compatibility.
+const MinMemSize = simcfg.MinMemSize
 
 // DefaultConfig returns the full-size configuration.
 func DefaultConfig() Config {
-	return Config{MemSize: 512 * addr.MiB}
+	return Config{Machine: simcfg.Default()}
 }
 
 // Validate rejects configurations that would only fail later, deep inside
-// an experiment.
+// an experiment. The machine checks live in simcfg — the one validation
+// path shared with replay and the daemon.
 func (c Config) Validate() error {
-	if c.MemSize < MinMemSize {
-		return fmt.Errorf("bench: -mem %d MiB is below the %d MiB minimum the experiments need",
-			c.MemSize/addr.MiB, MinMemSize/addr.MiB)
+	if err := c.Machine.Validate(); err != nil {
+		return err
 	}
-	return nil
+	return c.Workload.Validate()
 }
 
 // observe registers a machine's cpu and mmu counters with the run's

@@ -6,6 +6,7 @@ import (
 	"hpmp/internal/addr"
 	"hpmp/internal/cpu"
 	"hpmp/internal/miniredis"
+	"hpmp/internal/simcfg"
 	"hpmp/internal/stats"
 )
 
@@ -31,9 +32,9 @@ func init() {
 // redisRequests picks the per-command request count.
 func redisRequests(cfg Config) int {
 	if cfg.Quick {
-		return 8
+		return simcfg.Or(cfg.Workload.RedisRequests, 8)
 	}
-	return 30
+	return simcfg.Or(cfg.Workload.RedisRequests, 30)
 }
 
 // collectRedis runs the full command sweep on one platform/label and
@@ -57,6 +58,9 @@ func collectRedis(plat cpu.Platform, cfg Config, withHost bool) (map[string]map[
 			return err
 		}
 		b := miniredis.NewBenchmark(srv, e)
+		if ks := cfg.Workload.RedisKeyspace; ks > 0 {
+			b.Keyspace = ks
+		}
 		if err := b.Prepare(); err != nil {
 			return err
 		}

@@ -11,6 +11,7 @@ import (
 	"hpmp/internal/perm"
 	"hpmp/internal/phys"
 	"hpmp/internal/pmpt"
+	"hpmp/internal/simcfg"
 	"hpmp/internal/stats"
 	"hpmp/internal/virt"
 	"hpmp/internal/workloads"
@@ -456,9 +457,9 @@ func runScenAging(cfg Config) (*Result, error) {
 
 func coldFloodParams(cfg Config) (flood int, w workloads.Workload) {
 	if cfg.Quick {
-		return 4, &workloads.Matmul{N: 8}
+		return simcfg.Or(cfg.Workload.ColdStarts, 4), &workloads.Matmul{N: 8}
 	}
-	return 12, &workloads.Matmul{N: 16}
+	return simcfg.Or(cfg.Workload.ColdStarts, 12), &workloads.Matmul{N: 16}
 }
 
 // runScenColdFlood hammers one system with back-to-back cold invocations —

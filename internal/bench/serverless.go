@@ -6,6 +6,7 @@ import (
 	"hpmp/internal/cpu"
 	"hpmp/internal/kernel"
 	"hpmp/internal/monitor"
+	"hpmp/internal/simcfg"
 	"hpmp/internal/stats"
 	"hpmp/internal/workloads"
 )
@@ -111,17 +112,19 @@ func collectServerless(plat cpu.Platform, cfg Config, pwcEntries int) (map[strin
 		}
 		// Two invocations per function, averaged: serverless platforms
 		// report mean latency, and the second run damps DRAM/cache layout
-		// noise between isolation modes.
+		// noise between isolation modes. Workload.ServerlessReps scales
+		// the invocation count for churn studies.
+		reps := simcfg.Or(cfg.Workload.ServerlessReps, 2)
 		for _, w := range suite {
 			var total uint64
-			for rep := 0; rep < 2; rep++ {
+			for rep := 0; rep < reps; rep++ {
 				cycles, err := runServerless(sys, w)
 				if err != nil {
 					return fmt.Errorf("%s/%s: %w", label, w.Name(), err)
 				}
 				total += cycles
 			}
-			out[w.Name()][label] = total / 2
+			out[w.Name()][label] = total / uint64(reps)
 		}
 		return nil
 	}

@@ -153,6 +153,12 @@ func promEscape(s string) string {
 	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
 }
 
+// PromEscape is the exported form of the label-value escaper, for callers
+// that aggregate many Metrics into one exposition (a scrape page may carry
+// each # HELP/# TYPE header only once, so the daemon cannot simply
+// concatenate WritePrometheus outputs and must write labels itself).
+func PromEscape(s string) string { return promEscape(s) }
+
 // promName sanitizes a histogram family key into a legal Prometheus metric
 // name: every character outside [a-zA-Z0-9_] becomes '_' (dots and dashes
 // are the ones our keys actually carry), and a leading digit gets an

@@ -47,120 +47,43 @@ import (
 	"hpmp/internal/phys"
 	"hpmp/internal/pmpt"
 	"hpmp/internal/pt"
+	"hpmp/internal/simcfg"
 )
 
-// Mode selects the physical-isolation flavour the replay machine runs
-// under. It mirrors the paper's comparison set: no isolation (Fig. 2-a),
-// PMP segments (2-b), PMP tables (2-c), and HPMP (Fig. 4: tables plus the
-// page-table pool riding a segment).
-type Mode string
+// Mode aliases the unified isolation-mode enum (internal/simcfg); the
+// replay-local names predate the extraction and every call site keeps
+// compiling against them.
+type Mode = simcfg.Mode
 
 const (
-	ModeNone Mode = "none"
-	ModePMP  Mode = "pmp"
-	ModePMPT Mode = "pmpt"
-	ModeHPMP Mode = "hpmp"
+	ModeNone = simcfg.ModeNone
+	ModePMP  = simcfg.ModePMP
+	ModePMPT = simcfg.ModePMPT
+	ModeHPMP = simcfg.ModeHPMP
 )
 
 // Modes lists every valid Mode, in comparison order.
-var Modes = []Mode{ModeNone, ModePMP, ModePMPT, ModeHPMP}
+var Modes = simcfg.Modes
 
-// Config describes the machine a trace is replayed against. The zero value
-// is not valid; start from DefaultConfig.
-type Config struct {
-	// Platform is "rocket" (in-order) or "boom" (out-of-order).
-	Platform string
-	// Mode is the isolation mode.
-	Mode Mode
-	// MemSize is the replay machine's DRAM size. It must be at least
-	// MinMemSize and a multiple of 32 MiB (the engine carves two 16 MiB
-	// NAPOT pools off the top for its page tables and permission tables).
-	MemSize uint64
-	// L2TLBEntries / PWCEntries override the platform's geometry when > 0;
-	// < 0 disables the structure (0 entries).
-	L2TLBEntries int
-	PWCEntries   int
-	// PMPTWCache > 0 enables the permission-table walker cache with that
-	// many entries (overriding the platform's geometry); 0 keeps the
-	// platform default structure built but disabled, as in the paper's
-	// default methodology; < 0 builds a zero-capacity cache (structurally
-	// absent).
-	PMPTWCache int
-	// TableDepth is the permission-table depth for ModePMPT/ModeHPMP:
-	// 0 or 2 = the base 2-level table, 3/4 = the §4.3 Mode-field extension.
-	TableDepth int
-	// Scalar drains blocks through the scalar mmu.Access entry point — one
-	// call per reference with the same per-access accounting — instead of
-	// mmu.AccessBatch. The pipeline differential matrix uses it to prove
-	// both entry points byte-identical on every compiled variant.
-	Scalar bool
-}
+// Config is the unified machine configuration (internal/simcfg.Machine):
+// the replay engine was its first consumer and keeps the historical name.
+// Validation, defaults, String rendering, and machine assembly all live in
+// simcfg — one definition for the replay engine, the experiment harness,
+// the CLIs, and the daemon's job API.
+type Config = simcfg.Machine
 
 // DefaultConfig is the canonical replay target: the in-order platform under
 // full HPMP isolation at the evaluation's default memory size.
-func DefaultConfig() Config {
-	return Config{Platform: "rocket", Mode: ModeHPMP, MemSize: 512 * addr.MiB}
-}
+func DefaultConfig() Config { return simcfg.Default() }
 
 // MinMemSize matches internal/bench's floor so a trace captured at the
 // smallest benchable machine replays at the same size.
-const MinMemSize = 64 * addr.MiB
+const MinMemSize = simcfg.MinMemSize
 
 // poolSize is the size of each of the two top-of-memory pools (page tables,
-// permission tables).
-const poolSize = 16 * addr.MiB
-
-// Validate rejects configurations the engine cannot assemble.
-func (c Config) Validate() error {
-	switch c.Platform {
-	case "rocket", "boom":
-	default:
-		return fmt.Errorf("replay: unknown platform %q (want rocket or boom)", c.Platform)
-	}
-	switch c.Mode {
-	case ModeNone, ModePMP, ModePMPT, ModeHPMP:
-	default:
-		return fmt.Errorf("replay: unknown isolation mode %q (want none, pmp, pmpt or hpmp)", c.Mode)
-	}
-	if c.MemSize < MinMemSize {
-		return fmt.Errorf("replay: mem size %d MiB is below the %d MiB minimum",
-			c.MemSize/addr.MiB, MinMemSize/addr.MiB)
-	}
-	if c.MemSize%(2*poolSize) != 0 {
-		return fmt.Errorf("replay: mem size must be a multiple of %d MiB", 2*poolSize/addr.MiB)
-	}
-	switch c.TableDepth {
-	case 0, 2, 3, 4:
-	default:
-		return fmt.Errorf("replay: table depth %d (want 2, 3 or 4)", c.TableDepth)
-	}
-	if c.TableDepth > 2 && c.Mode != ModePMPT && c.Mode != ModeHPMP {
-		return fmt.Errorf("replay: table depth %d needs a permission-table mode (pmpt or hpmp)", c.TableDepth)
-	}
-	return nil
-}
-
-// String renders the config compactly ("rocket/hpmp 512MiB depth=2 ...");
-// the CLI prints it and metrics notes embed it.
-func (c Config) String() string {
-	s := fmt.Sprintf("%s/%s %dMiB", c.Platform, c.Mode, c.MemSize/addr.MiB)
-	if c.TableDepth > 2 {
-		s += fmt.Sprintf(" depth=%d", c.TableDepth)
-	}
-	if c.L2TLBEntries != 0 {
-		s += fmt.Sprintf(" l2tlb=%d", c.L2TLBEntries)
-	}
-	if c.PWCEntries != 0 {
-		s += fmt.Sprintf(" pwc=%d", c.PWCEntries)
-	}
-	if c.PMPTWCache != 0 {
-		s += fmt.Sprintf(" pmptw-cache=%d", c.PMPTWCache)
-	}
-	if c.Scalar {
-		s += " scalar"
-	}
-	return s
-}
+// permission tables). simcfg.PoolAlign keeps every valid MemSize a
+// multiple of the two pools combined.
+const poolSize = simcfg.PoolAlign / 2
 
 // BlockMax is the replay batch size — one mmu.AccessBatch submission —
 // matching kernel.BlockMax so replay and live workloads stress the batched
@@ -249,37 +172,10 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var plat cpu.Platform
-	if cfg.Platform == "boom" {
-		plat = cpu.BOOMPlatform()
-	} else {
-		plat = cpu.RocketPlatform()
-	}
-	if cfg.L2TLBEntries > 0 {
-		plat.MMU.L2TLBEntries = cfg.L2TLBEntries
-	} else if cfg.L2TLBEntries < 0 {
-		plat.MMU.L2TLBEntries = 0
-	}
-	if cfg.PWCEntries > 0 {
-		plat.MMU.PWCEntries = cfg.PWCEntries
-	} else if cfg.PWCEntries < 0 {
-		plat.MMU.PWCEntries = 0
-	}
-	if cfg.PMPTWCache > 0 {
-		plat.PMPTWCacheEntries = cfg.PMPTWCache
-	} else if cfg.PMPTWCache < 0 {
-		plat.PMPTWCacheEntries = 0
-	}
-
-	var mach *cpu.Machine
-	if cfg.Mode == ModeNone {
-		mach = cpu.NewMachineNoIsolation(plat, cfg.MemSize)
-	} else {
-		mach = cpu.NewMachine(plat, cfg.MemSize)
-		if cfg.PMPTWCache > 0 && mach.PMPTWCache != nil {
-			mach.PMPTWCache.Enabled = true
-		}
-	}
+	// Machine assembly — platform choice, geometry overrides, checker
+	// presence, PMPTW-cache enablement — is simcfg's job; the engine only
+	// programs the isolation state on top.
+	mach := cfg.Assemble()
 
 	ptRegion := addr.Range{Base: addr.PA(cfg.MemSize - 2*poolSize), Size: poolSize}
 	pmptRegion := addr.Range{Base: addr.PA(cfg.MemSize - poolSize), Size: poolSize}

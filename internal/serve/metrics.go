@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"hpmp/internal/obs"
+)
+
+// handlePrometheus renders the live scrape page. One exposition carries
+// each # HELP/# TYPE header exactly once, so the daemon cannot simply
+// concatenate the per-job WritePrometheus outputs — it aggregates every
+// tenant under shared families instead:
+//
+//	hpmpsimd_jobs{state=...}        job counts by lifecycle state
+//	hpmpsimd_queue_depth            jobs waiting in the bounded queue
+//	hpmpsimd_queue_capacity         the queue bound
+//	hpmpsimd_workers                tenant-job concurrency
+//	hpmp_tenant_counter{job,experiment,counter}   per-tenant counters
+//	hpmp_tenant_derived{job,experiment,metric}    per-tenant derived rates
+//	hpmp_tenant_divergences{job}                  replay divergence counts
+//
+// Finished experiments of still-running jobs are already visible: the
+// page reflects whatever results each job has committed so far.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	jobs := s.snapshotJobs()
+
+	var b strings.Builder
+	states := map[JobState]int{}
+	s.mu.Lock()
+	for _, j := range jobs {
+		states[j.state]++
+	}
+	depth := len(s.queue)
+	s.mu.Unlock()
+
+	b.WriteString("# HELP hpmpsimd_jobs Jobs by lifecycle state.\n")
+	b.WriteString("# TYPE hpmpsimd_jobs gauge\n")
+	for _, st := range States {
+		fmt.Fprintf(&b, "hpmpsimd_jobs{state=%q} %d\n", st, states[st])
+	}
+	b.WriteString("# HELP hpmpsimd_queue_depth Jobs waiting in the bounded queue.\n")
+	b.WriteString("# TYPE hpmpsimd_queue_depth gauge\n")
+	fmt.Fprintf(&b, "hpmpsimd_queue_depth %d\n", depth)
+	b.WriteString("# HELP hpmpsimd_queue_capacity Bound of the job queue.\n")
+	b.WriteString("# TYPE hpmpsimd_queue_capacity gauge\n")
+	fmt.Fprintf(&b, "hpmpsimd_queue_capacity %d\n", cap(s.queue))
+	b.WriteString("# HELP hpmpsimd_workers Concurrent tenant-job workers.\n")
+	b.WriteString("# TYPE hpmpsimd_workers gauge\n")
+	fmt.Fprintf(&b, "hpmpsimd_workers %d\n", s.opts.Workers)
+
+	// Per-tenant families: each job's committed snapshots, including the
+	// finished experiments of jobs still running.
+	type tenantResult struct {
+		job string
+		m   *obs.Metrics
+	}
+	type tenantDiv struct {
+		job string
+		n   uint64
+	}
+	var results []tenantResult
+	var divergent []tenantDiv
+	for _, j := range jobs {
+		ms, div := j.snapshotResults()
+		for _, m := range ms {
+			results = append(results, tenantResult{j.ID, m})
+		}
+		if j.Request.Kind == "replay" && len(ms) > 0 {
+			divergent = append(divergent, tenantDiv{j.ID, div})
+		}
+	}
+
+	b.WriteString("# HELP hpmp_tenant_counter Simulator counter of one tenant job's experiment.\n")
+	b.WriteString("# TYPE hpmp_tenant_counter gauge\n")
+	for _, tr := range results {
+		job, exp := obs.PromEscape(tr.job), obs.PromEscape(tr.m.Experiment)
+		for _, k := range sortedKeys(tr.m.Counters) {
+			fmt.Fprintf(&b, "hpmp_tenant_counter{job=%q,experiment=%q,counter=%q} %d\n",
+				job, exp, obs.PromEscape(k), tr.m.Counters[k])
+		}
+	}
+	b.WriteString("# HELP hpmp_tenant_derived Derived rate of one tenant job's experiment.\n")
+	b.WriteString("# TYPE hpmp_tenant_derived gauge\n")
+	for _, tr := range results {
+		job, exp := obs.PromEscape(tr.job), obs.PromEscape(tr.m.Experiment)
+		for _, k := range sortedKeys(tr.m.Derived) {
+			fmt.Fprintf(&b, "hpmp_tenant_derived{job=%q,experiment=%q,metric=%q} %g\n",
+				job, exp, obs.PromEscape(k), tr.m.Derived[k])
+		}
+	}
+	b.WriteString("# HELP hpmp_tenant_divergences Replayed accesses that contradicted the recording.\n")
+	b.WriteString("# TYPE hpmp_tenant_divergences gauge\n")
+	for _, d := range divergent {
+		fmt.Fprintf(&b, "hpmp_tenant_divergences{job=%q} %d\n", obs.PromEscape(d.job), d.n)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

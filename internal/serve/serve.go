@@ -1,0 +1,416 @@
+// Package serve is the hpmpsimd multi-tenant simulation service: a
+// bounded job queue in front of the bench worker pool, running N
+// concurrent tenant jobs, each with its own simulated memory system and
+// merged stats. Endpoints:
+//
+//	POST   /v1/jobs            submit a job (run or replay, unified config)
+//	GET    /v1/jobs            list job statuses
+//	GET    /v1/jobs/{id}       one job's status + hpmp-metrics/v1 results
+//	GET    /v1/jobs/{id}/metrics  the raw metrics document alone
+//	GET    /v1/jobs/{id}/trace    captured trace, hpmp-trace/v1 JSONL
+//	DELETE /v1/jobs/{id}       cancel (queued or mid-run)
+//	GET    /v1/experiments     the experiment registry
+//	GET    /metrics            live Prometheus (per-tenant + daemon families)
+//	GET    /healthz            liveness
+//
+// Jobs are isolated the same way CLI experiments are: every simulated
+// machine belongs to exactly one job, and a panicking or failing
+// experiment is contained by the bench runner. Identical submissions
+// produce byte-identical metrics — wall-clock data lives only in the job
+// status envelope.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hpmp/internal/bench"
+	"hpmp/internal/obs"
+)
+
+// Options tunes the daemon.
+type Options struct {
+	// Workers is the tenant-job concurrency (default 4).
+	Workers int
+	// QueueDepth bounds jobs waiting behind the running ones (default
+	// 16); a full queue answers 503 with Retry-After.
+	QueueDepth int
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Server is the daemon core: the job table, the bounded queue, and the
+// worker pool. Create with New, mount via Handler, stop via Drain.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	queue     chan *Job
+	wg        sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	draining bool
+
+	// exec runs one job body; tests substitute it to model slow or
+	// misbehaving tenants without booting simulators.
+	exec func(ctx context.Context, j *Job) error
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		queue:     make(chan *Job, opts.QueueDepth),
+		jobs:      map[string]*Job{},
+	}
+	s.exec = func(ctx context.Context, j *Job) error { return j.execute(ctx) }
+	s.mux = http.NewServeMux()
+	s.routes()
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// worker drains the queue until Drain closes it (or the base context is
+// canceled). Job panics are already contained: run jobs recover inside
+// the bench runner, and replay jobs execute trusted engine code — but a
+// defensive recover keeps one poisoned job from killing the pool.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while waiting
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	s.mu.Unlock()
+	s.opts.Logf("serve: %s running (%s)", j.ID, j.Request.Kind)
+
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("serve: job panicked: %v", p)
+			}
+		}()
+		return s.exec(ctx, j)
+	}()
+	cancel()
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.errText = "canceled"
+	default:
+		j.state = StateFailed
+		j.errText = err.Error()
+	}
+	close(j.done)
+	s.mu.Unlock()
+	s.opts.Logf("serve: %s %s", j.ID, j.state)
+}
+
+// Drain stops intake (POSTs answer 503), waits for queued and running
+// jobs to finish, and returns nil on a clean drain. When ctx expires
+// first, every remaining job is canceled and Drain reports the error
+// after the workers exit.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return fmt.Errorf("serve: drain expired, %w; in-flight jobs canceled", ctx.Err())
+	}
+}
+
+// --- HTTP handlers ----------------------------------------------------
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "serve: parsing job: %v", err)
+		return
+	}
+	j := &Job{Request: req, done: make(chan struct{})}
+	if err := j.resolve(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "serve: draining, not accepting jobs")
+		return
+	}
+	s.nextID++
+	j.ID = fmt.Sprintf("job-%d", s.nextID)
+	j.state = StateQueued
+	j.created = time.Now()
+	select {
+	case s.queue <- j:
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+	default:
+		s.nextID-- // rejected submissions don't consume IDs
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable,
+			"serve: queue full (%d deep); retry later", cap(s.queue))
+		return
+	}
+	st := j.status()
+	s.mu.Unlock()
+	s.opts.Logf("serve: %s queued (%s)", j.ID, j.Request.Kind)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		st := s.jobs[id].status()
+		st.Results = nil // the list stays light; fetch one job for results
+		out = append(out, st)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jobFor resolves {id} or answers 404. Returns with the lock released.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "serve: no job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		// The worker skips jobs whose state moved past queued.
+		j.state = StateCanceled
+		j.errText = "canceled before start"
+		j.finished = time.Now()
+		close(j.done)
+	case StateRunning:
+		j.cancel()
+	}
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	terminal := j.state == StateDone || j.state == StateFailed
+	s.mu.Unlock()
+	if !terminal {
+		httpError(w, http.StatusConflict, "serve: %s is %s; metrics exist once the job finishes", j.ID, j.state)
+		return
+	}
+	data, err := j.metricsJSON()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "serve: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	terminal := j.state == StateDone || j.state == StateFailed
+	s.mu.Unlock()
+	if !terminal {
+		httpError(w, http.StatusConflict, "serve: %s is %s; traces exist once the job finishes", j.ID, j.state)
+		return
+	}
+	// Post-terminal, traces are immutable — no lock needed.
+	if len(j.traceOrder) == 0 {
+		httpError(w, http.StatusNotFound, "serve: %s captured no trace (submit with \"trace\": true)", j.ID)
+		return
+	}
+	id := r.URL.Query().Get("experiment")
+	if id == "" {
+		if len(j.traceOrder) > 1 {
+			httpError(w, http.StatusBadRequest,
+				"serve: %s has %d traces; pick one with ?experiment= (%v)",
+				j.ID, len(j.traceOrder), j.traceOrder)
+			return
+		}
+		id = j.traceOrder[0]
+	}
+	tr, ok := j.traces[id]
+	if !ok {
+		httpError(w, http.StatusNotFound, "serve: %s has no trace for %q (%v)", j.ID, id, j.traceOrder)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := obs.WriteTrace(w, j.ID+"/"+id, tr); err != nil {
+		s.opts.Logf("serve: %s: streaming trace: %v", j.ID, err)
+	}
+}
+
+// experimentInfo is one /v1/experiments row.
+type experimentInfo struct {
+	ID       string   `json:"id"`
+	Title    string   `json:"title"`
+	Figure   string   `json:"figure,omitempty"`
+	Cost     string   `json:"cost"`
+	Counters []string `json:"counters,omitempty"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	all := bench.All()
+	out := make([]experimentInfo, 0, len(all))
+	for _, e := range all {
+		out = append(out, experimentInfo{
+			ID: e.ID, Title: e.Title, Figure: e.Figure,
+			Cost: string(e.Cost), Counters: e.Counters,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// snapshotJobs returns the job list in submission order, for /metrics.
+func (s *Server) snapshotJobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// sortedKeys returns m's keys sorted, for deterministic exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
