@@ -1,24 +1,29 @@
 // Command hpmpsimd serves simulations: a multi-tenant daemon over the
 // experiment harness and the replay engine, on the unified machine-config
 // API (internal/simcfg). Tenants submit jobs over HTTP, poll status,
-// download hpmp-metrics/v1 results and hpmp-trace/v1 traces, and scrape
-// live Prometheus metrics.
+// download hpmp-metrics/v1 results and hpmp-trace/v1 traces, follow live
+// lifecycle events over SSE, and scrape live Prometheus metrics.
 //
 // Usage:
 //
 //	hpmpsimd -addr 127.0.0.1:8080
-//	hpmpsimd -workers 8 -queue 32
+//	hpmpsimd -workers 8 -queue 32 -log-format json -log-level debug
+//	hpmpsimd -pprof 127.0.0.1:6060
 //
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"kind":"run","experiments":["fig10"],"quick":true}'
 //	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s localhost:8080/v1/jobs/job-1/timeline
+//	curl -sN localhost:8080/v1/jobs/job-1/events
 //	curl -s localhost:8080/metrics
 //
+// Structured logs go to stderr (text by default, -log-format json for
+// machine ingestion); every job event carries the job id as a field.
 // SIGTERM/SIGINT drain gracefully: intake stops (new POSTs answer 503),
 // queued and running jobs finish, then the process exits 0. Jobs still
 // running when -drain-timeout expires are canceled and the exit is
-// nonzero. See internal/serve for the API and DESIGN.md §9 for the
-// architecture.
+// nonzero. See internal/serve for the API and DESIGN.md §9–§10 for the
+// architecture and operations guide.
 package main
 
 import (
@@ -26,11 +31,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,26 +48,76 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// newLogger builds the daemon logger from the flag values.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("hpmpsimd: unknown -log-level %q (debug|info|warn|error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, ho)), nil
+	default:
+		return nil, fmt.Errorf("hpmpsimd: unknown -log-format %q (text|json)", format)
+	}
+}
+
 func run(argv []string) int {
 	fs := flag.NewFlagSet("hpmpsimd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	workers := fs.Int("workers", 4, "concurrent tenant jobs")
 	queue := fs.Int("queue", 16, "queued jobs beyond the running ones (full queue answers 503)")
 	drainTimeout := fs.Duration("drain-timeout", 60*time.Second, "on SIGTERM, bound on waiting for queued+running jobs")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
-	logger := log.New(os.Stderr, "hpmpsimd: ", log.LstdFlags)
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	s := serve.New(serve.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
-		Logf:       logger.Printf,
+		Logger:     logger,
 	})
+
+	if *pprofAddr != "" {
+		// pprof stays off the tenant-facing mux: profiles are an operator
+		// surface, exposed only on the explicitly opted-in listener (which
+		// serves http.DefaultServeMux, where net/http/pprof registers).
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			logger.Error("pprof listen failed", "addr", *pprofAddr, "error", err)
+			return 1
+		}
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				logger.Warn("pprof listener exited", "error", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Printf("%v", err)
+		logger.Error("listen failed", "addr", *addr, "error", err)
 		return 1
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
@@ -68,14 +125,17 @@ func run(argv []string) int {
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	// The bound address on stdout lets scripts use -addr :0.
 	fmt.Printf("hpmpsimd listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queue)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case got := <-sig:
-		logger.Printf("received %v, draining (timeout %v)", got, *drainTimeout)
+		logger.Info("signal received, draining", "signal", got.String(),
+			"timeout", drainTimeout.String())
 	case err := <-serveErr:
-		logger.Printf("listener failed: %v", err)
+		logger.Error("listener failed", "error", err)
 		return 1
 	}
 
@@ -85,12 +145,12 @@ func run(argv []string) int {
 	defer cancel()
 	drainErr := s.Drain(ctx)
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if drainErr != nil {
-		logger.Printf("%v", drainErr)
+		logger.Error("drain failed", "error", drainErr)
 		return 1
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 	return 0
 }

@@ -1,9 +1,12 @@
 // End-to-end smoke for the daemon binary: builds the real hpmpsimd and
-// hpmptrace executables, boots the daemon on an ephemeral port, and
-// drives the full tenant loop over real HTTP — submit a traced quick
-// experiment, poll to completion, scrape /metrics, download the trace
-// and verify it with `hpmptrace -replay-check`, replay it back through a
-// replay job, then SIGTERM and require a clean drain (exit 0).
+// hpmptrace executables, boots the daemon on an ephemeral port (with the
+// opt-in pprof listener), and drives the full tenant loop over real HTTP
+// — submit a traced quick experiment, poll to completion, scrape
+// /metrics including the daemon histograms, read the timeline, consume
+// the SSE event stream, download the (chunk-streamed) trace and verify
+// it with `hpmptrace -replay-check` and `-stats`, hit pprof, replay the
+// trace back through a replay job, then SIGTERM and require a clean
+// drain (exit 0).
 //
 // This is what `make daemon-smoke` (and the CI daemon-smoke job) runs.
 // It is skipped under -short: it compiles binaries and runs a quick
@@ -20,7 +23,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -28,6 +33,25 @@ import (
 	"hpmp/internal/obs"
 	"hpmp/internal/serve"
 )
+
+// lockedBuf collects the daemon's stderr; the test reads it (to find the
+// pprof address, and for failure context) while the process still writes.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (lb *lockedBuf) Write(p []byte) (int, error) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.b.Write(p)
+}
+
+func (lb *lockedBuf) String() string {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.b.String()
+}
 
 // buildBinary compiles one command of this module into dir and returns
 // the executable path.
@@ -45,7 +69,7 @@ func buildBinary(t *testing.T, dir, pkg string) string {
 type daemon struct {
 	cmd    *exec.Cmd
 	base   string // http://host:port
-	stderr *bytes.Buffer
+	stderr *lockedBuf
 }
 
 // startDaemon boots hpmpsimd on an ephemeral port and parses the bound
@@ -54,8 +78,8 @@ func startDaemon(t *testing.T, bin string, extra ...string) *daemon {
 	t.Helper()
 	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
 	cmd := exec.Command(bin, args...)
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
+	stderr := &lockedBuf{}
+	cmd.Stderr = stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatalf("stdout pipe: %v", err)
@@ -82,7 +106,22 @@ func startDaemon(t *testing.T, bin string, extra ...string) *daemon {
 	}
 	// Drain the rest of stdout so the child never blocks on a full pipe.
 	go io.Copy(io.Discard, stdout)
-	return &daemon{cmd: cmd, base: "http://" + strings.TrimPrefix(line, prefix), stderr: &stderr}
+	return &daemon{cmd: cmd, base: "http://" + strings.TrimPrefix(line, prefix), stderr: stderr}
+}
+
+// waitLog polls the daemon's stderr until re matches, returning the first
+// capture group.
+func (d *daemon) waitLog(t *testing.T, re *regexp.Regexp) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(d.stderr.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("log never matched %v\nstderr: %s", re, d.stderr.String())
+	return ""
 }
 
 // submit POSTs one job body and returns the accepted job ID.
@@ -150,7 +189,8 @@ func TestDaemonSmoke(t *testing.T) {
 	simd := buildBinary(t, dir, "cmd/hpmpsimd")
 	htrace := buildBinary(t, dir, "cmd/hpmptrace")
 
-	d := startDaemon(t, simd, "-workers", "2", "-queue", "4")
+	d := startDaemon(t, simd, "-workers", "2", "-queue", "4", "-pprof", "127.0.0.1:0")
+	pprofAddr := d.waitLog(t, regexp.MustCompile(`msg="pprof listening" addr=([0-9.]+:[0-9]+)`))
 
 	// 1. A traced quick experiment job, fully sampled so the trace
 	// satisfies the replay-check round-trip property.
@@ -159,12 +199,20 @@ func TestDaemonSmoke(t *testing.T) {
 	if len(st.Results) != 1 || st.Results[0].Experiment != "fig10" {
 		t.Fatalf("run job results: %+v", st.Results)
 	}
+	if st.QueueSeconds == nil || st.RunSeconds == nil {
+		t.Fatalf("finished job missing derived durations: %+v", st)
+	}
 
-	// 2. The live scrape must be exposing the tenant's counters by now.
+	// 2. The live scrape must be exposing the tenant's counters and the
+	// daemon histograms by now.
 	prom := string(d.get(t, "/metrics"))
 	for _, want := range []string{
 		"# TYPE hpmpsimd_jobs gauge",
 		"hpmpsimd_queue_capacity 4",
+		"# TYPE hpmpsimd_queue_wait_seconds histogram",
+		"hpmpsimd_queue_wait_seconds_count 1",
+		"hpmpsimd_job_run_seconds_count 1",
+		`hpmpsimd_http_request_seconds_count{route="POST /v1/jobs",code="202"} 1`,
 		fmt.Sprintf("hpmp_tenant_counter{job=%q,experiment=\"fig10\"", runID),
 	} {
 		if !strings.Contains(prom, want) {
@@ -172,8 +220,29 @@ func TestDaemonSmoke(t *testing.T) {
 		}
 	}
 
-	// 3. Download the trace and verify it with the real hpmptrace binary.
+	// 3. The timeline carries the full lifecycle, and the SSE stream of a
+	// finished job replays it and closes on its own.
+	var tl serve.Timeline
+	if err := json.Unmarshal(d.get(t, "/v1/jobs/"+runID+"/timeline"), &tl); err != nil {
+		t.Fatalf("parsing timeline: %v", err)
+	}
+	if tl.State != serve.StateDone || len(tl.Events) < 4 ||
+		tl.Events[len(tl.Events)-1].Event != "finished" {
+		t.Fatalf("timeline: %+v", tl)
+	}
+	sse := string(d.get(t, "/v1/jobs/"+runID+"/events"))
+	for _, want := range []string{"event: submitted", "event: experiment", "event: finished", `"state":"done"`} {
+		if !strings.Contains(sse, want) {
+			t.Fatalf("SSE stream missing %q:\n%s", want, sse)
+		}
+	}
+
+	// 4. Download the trace and verify it with the real hpmptrace binary;
+	// the streamed download must also be byte-stable across requests.
 	trace := d.get(t, "/v1/jobs/"+runID+"/trace")
+	if again := d.get(t, "/v1/jobs/"+runID+"/trace"); !bytes.Equal(trace, again) {
+		t.Fatal("two downloads of the same trace differ")
+	}
 	tracePath := filepath.Join(dir, "fig10.trace.jsonl")
 	if err := os.WriteFile(tracePath, trace, 0o644); err != nil {
 		t.Fatalf("writing trace: %v", err)
@@ -181,8 +250,34 @@ func TestDaemonSmoke(t *testing.T) {
 	if out, err := exec.Command(htrace, "-replay-check", tracePath).CombinedOutput(); err != nil {
 		t.Fatalf("hpmptrace -replay-check: %v\n%s", err, out)
 	}
+	// ... and summarize it with the new -stats mode.
+	if out, err := exec.Command(htrace, "-stats", tracePath).CombinedOutput(); err != nil ||
+		!strings.Contains(string(out), "kind") {
+		t.Fatalf("hpmptrace -stats: %v\n%s", err, out)
+	}
 
-	// 4. Replay the downloaded trace back through a replay job and check
+	// 5. The opt-in pprof listener serves profiles off the tenant mux.
+	pprofResp, err := http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET pprof: %v", err)
+	}
+	io.Copy(io.Discard, pprofResp.Body)
+	pprofResp.Body.Close()
+	if pprofResp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof: HTTP %d", pprofResp.StatusCode)
+	}
+	// The tenant-facing mux must NOT expose pprof.
+	tenantPprof, err := http.Get(d.base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET tenant pprof: %v", err)
+	}
+	io.Copy(io.Discard, tenantPprof.Body)
+	tenantPprof.Body.Close()
+	if tenantPprof.StatusCode == http.StatusOK {
+		t.Fatal("pprof leaked onto the tenant-facing listener")
+	}
+
+	// 6. Replay the downloaded trace back through a replay job and check
 	// the result parses as hpmp-metrics/v1.
 	body, err := json.Marshal(map[string]any{
 		"kind": "replay", "id": "fig10-rt", "trace_jsonl": string(trace),
@@ -200,7 +295,7 @@ func TestDaemonSmoke(t *testing.T) {
 		t.Fatalf("replay metrics experiment %q, want fig10-rt", m.Experiment)
 	}
 
-	// 5. Clean shutdown: SIGTERM must drain and exit 0.
+	// 7. Clean shutdown: SIGTERM must drain and exit 0.
 	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatalf("SIGTERM: %v", err)
 	}

@@ -13,6 +13,7 @@
 //	hpmptrace -mode hpmp -workload qsort -csv trace.csv
 //	hpmptrace -mode hpmp -workload qsort -trace qsort.trace.jsonl
 //	hpmptrace -read qsort.trace.jsonl        # pretty-print any v1 trace
+//	hpmptrace -stats qsort.trace.jsonl       # per-kind summary of any v1 trace
 //	hpmptrace -replay-check qsort.trace.jsonl # verify replay round-trip
 //	hpmptrace -list
 package main
@@ -21,8 +22,11 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"reflect"
+	"sort"
+	"text/tabwriter"
 
 	"hpmp/internal/kernel"
 	"hpmp/internal/monitor"
@@ -53,6 +57,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write the retained event ring as CSV to this file")
 	tracePath := flag.String("trace", "", "write the retained event ring as a JSONL trace (hpmp-trace/v1) to this file")
 	readPath := flag.String("read", "", "pretty-print a JSONL trace file and exit (no simulation)")
+	statsPath := flag.String("stats", "", "print a per-kind summary of a JSONL trace file and exit (no simulation)")
 	checkPath := flag.String("replay-check", "", "round-trip a JSONL trace through the replay engine twice and verify the replays agree byte-for-byte (no simulation)")
 	keep := flag.Int("keep", 4096, "events retained in the ring")
 	list := flag.Bool("list", false, "list workloads and exit")
@@ -60,6 +65,12 @@ func main() {
 
 	if *readPath != "" {
 		if err := readTrace(*readPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *statsPath != "" {
+		if err := statsTrace(os.Stdout, *statsPath); err != nil {
 			fatal(err)
 		}
 		return
@@ -169,6 +180,66 @@ func readTrace(path string) error {
 		fmt.Println(obs.FormatEvent(ev))
 	}
 	return nil
+}
+
+// statsTrace summarizes a hpmp-trace/v1 file: per-kind event counts,
+// total reference and cycle costs, and the min/median/max cycle latency.
+// Output is deterministic for a given file (fixed kind order, integer
+// cycles), so it golden-tests cleanly.
+func statsTrace(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, events, err := obs.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace %s: source=%s sample-every=%d seen=%d sampled=%d kept=%d\n",
+		path, h.Source, h.SampleEvery, h.Seen, h.Sampled, h.Kept)
+
+	type kindStats struct {
+		count  int
+		refs   uint64
+		cycles []uint64
+	}
+	kinds := []obs.Kind{obs.KindAccess, obs.KindPTEFetch, obs.KindPMPTFetch, obs.KindCheck}
+	byKind := map[obs.Kind]*kindStats{}
+	for _, k := range kinds {
+		byKind[k] = &kindStats{}
+	}
+	var totalRefs, totalCycles uint64
+	for _, ev := range events {
+		ks, ok := byKind[ev.Kind]
+		if !ok { // future kinds degrade to the totals line, not a crash
+			continue
+		}
+		ks.count++
+		ks.refs += uint64(ev.Refs)
+		ks.cycles = append(ks.cycles, ev.Cycles)
+		totalRefs += uint64(ev.Refs)
+		totalCycles += ev.Cycles
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "kind\tcount\trefs\tcycles\tmin\tmedian\tmax")
+	for _, k := range kinds {
+		ks := byKind[k]
+		if ks.count == 0 {
+			fmt.Fprintf(tw, "%s\t0\t0\t0\t-\t-\t-\n", k)
+			continue
+		}
+		sort.Slice(ks.cycles, func(i, j int) bool { return ks.cycles[i] < ks.cycles[j] })
+		var sum uint64
+		for _, c := range ks.cycles {
+			sum += c
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n", k, ks.count, ks.refs, sum,
+			ks.cycles[0], ks.cycles[(len(ks.cycles)-1)/2], ks.cycles[len(ks.cycles)-1])
+	}
+	fmt.Fprintf(tw, "total\t%d\t%d\t%d\t\t\t\n", len(events), totalRefs, totalCycles)
+	return tw.Flush()
 }
 
 // replayCheck is the round-trip gate: parse the trace, replay it twice on

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpmp/internal/addr"
+	"hpmp/internal/obs"
+	"hpmp/internal/perm"
+)
+
+var update = flag.Bool("update", false, "rewrite the stats fixture and golden output")
+
+// fixtureTracer builds a small fixed event mix covering every event kind
+// with spread-out latencies, so the -stats summary exercises min, median,
+// and max on each row.
+func fixtureTracer() *obs.Tracer {
+	tr := obs.NewTracer(64, 1)
+	for i, cyc := range []uint64{12, 3, 40, 7, 19} {
+		tr.Emit(obs.Event{Kind: obs.KindAccess, Access: perm.Read, TLB: obs.TLBMiss,
+			VA: addr.VA(0x4000 + 0x1000*i), PA: addr.PA(0x8000_0000 + 0x1000*i),
+			Refs: 4, ChkRefs: 1, Cycles: cyc, Level: -1})
+	}
+	for _, cyc := range []uint64{2, 2, 9} {
+		tr.Emit(obs.Event{Kind: obs.KindPTEFetch, PA: 0x8100_0000, Level: 1,
+			Hit: cyc == 2, Refs: 1, Cycles: cyc})
+	}
+	tr.Emit(obs.Event{Kind: obs.KindPMPTFetch, PA: 0x8200_0000, Hit: true,
+		Refs: 1, Cycles: 1, Level: -1})
+	for _, cyc := range []uint64{5, 30} {
+		tr.Emit(obs.Event{Kind: obs.KindCheck, PA: 0x8300_0000, Level: 2,
+			Hit: true, Refs: 2, Cycles: cyc})
+	}
+	return tr
+}
+
+// TestStatsGolden pins the -stats output byte-for-byte against a fixture
+// trace: the summary is part of the CLI surface and must stay
+// deterministic for a given file.
+func TestStatsGolden(t *testing.T) {
+	fixture := filepath.Join("testdata", "stats.trace.jsonl")
+	golden := filepath.Join("testdata", "stats.golden")
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteTrace(&buf, "stats-fixture", fixtureTracer()); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fixture, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out bytes.Buffer
+	if err := statsTrace(&out, fixture); err != nil {
+		t.Fatalf("statsTrace: %v", err)
+	}
+
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s and %s", fixture, golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-stats output differs from %s (re-run with -update if intended)\n--- got\n%s--- want\n%s",
+			golden, out.Bytes(), want)
+	}
+}
+
+// TestStatsRejectsTruncated: -stats must refuse a trace whose body is
+// shorter than the header's kept count, not summarize the partial data.
+func TestStatsRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, "trunc", fixtureTracer()); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	truncated := append(bytes.Join(lines[:len(lines)-2], []byte("\n")), '\n')
+	path := filepath.Join(t.TempDir(), "trunc.trace.jsonl")
+	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := statsTrace(&out, path); err == nil {
+		t.Fatal("statsTrace accepted a truncated trace")
+	}
+}

@@ -263,8 +263,8 @@ func DiffMetrics(base, cur *Metrics, opt DiffOptions) []Finding {
 			sev = SevRegression
 		}
 		out = append(out, Finding{Family: "wall",
-			Base:    fmt.Sprintf("%.3fs", base.WallSeconds),
-			Current: fmt.Sprintf("%.3fs", cur.WallSeconds),
+			Base:     fmt.Sprintf("%.3fs", base.WallSeconds),
+			Current:  fmt.Sprintf("%.3fs", cur.WallSeconds),
 			Severity: sev})
 	}
 	return out

@@ -116,12 +116,9 @@ func fromJSON(ej eventJSON) (Event, error) {
 	}, nil
 }
 
-// WriteTrace serializes a tracer's retained events as JSON lines: the
-// header first, then one event per line, oldest first.
-func WriteTrace(w io.Writer, source string, t *Tracer) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	h := Header{
+// header builds the trace-file header for this tracer's current state.
+func (t *Tracer) header(source string) Header {
+	return Header{
 		Schema:      TraceSchema,
 		Source:      source,
 		SampleEvery: t.SampleEvery(),
@@ -130,15 +127,141 @@ func WriteTrace(w io.Writer, source string, t *Tracer) error {
 		Sampled:     t.Sampled(),
 		Kept:        t.Kept(),
 	}
-	if err := enc.Encode(h); err != nil {
+}
+
+// WriteTrace serializes a tracer's retained events as JSON lines: the
+// header first, then one event per line, oldest first. It is the buffered
+// spelling of WriteTraceStream — both produce byte-identical output (the
+// equivalence test pins it), WriteTrace just never issues explicit
+// flushes beyond bufio's own.
+func WriteTrace(w io.Writer, source string, t *Tracer) error {
+	return WriteTraceStream(w, source, t, 0, nil)
+}
+
+// DefaultStreamFlush is the event stride between explicit flushes when a
+// StreamTracer caller does not choose one. Small enough that a tailing
+// consumer sees progress, large enough that flush syscalls stay off the
+// per-event path.
+const DefaultStreamFlush = 256
+
+// StreamTracer writes an hpmp-trace/v1 stream incrementally: the header
+// commits first (its kept count must therefore be final), events append
+// one line at a time, and Close reconciles the written count against the
+// header's declaration — so a stream that Close accepts is exactly a
+// stream ReadTrace accepts, and an abandoned stream is rejected by
+// ReadTrace as truncated rather than silently under-filled.
+//
+// Every flushEvery events the internal buffer is flushed to w and onFlush
+// (when non-nil) is invoked — the HTTP trace download passes
+// http.Flusher.Flush so chunks leave the server as they are produced.
+type StreamTracer struct {
+	bw       *bufio.Writer
+	enc      *json.Encoder
+	declared int
+	written  int
+	every    int
+	onFlush  func()
+	lastSeq  uint64
+}
+
+// NewStreamTracer commits h (normalizing an empty schema) to w and
+// returns the incremental writer. flushEvery ≤ 0 selects
+// DefaultStreamFlush.
+func NewStreamTracer(w io.Writer, h Header, flushEvery int, onFlush func()) (*StreamTracer, error) {
+	if h.Schema == "" {
+		h.Schema = TraceSchema
+	}
+	if h.Schema != TraceSchema {
+		return nil, fmt.Errorf("obs: stream schema %q, want %q", h.Schema, TraceSchema)
+	}
+	if h.Kept < 0 {
+		return nil, fmt.Errorf("obs: stream header declares negative kept count %d", h.Kept)
+	}
+	if flushEvery <= 0 {
+		flushEvery = DefaultStreamFlush
+	}
+	st := &StreamTracer{
+		bw:       bufio.NewWriter(w),
+		declared: h.Kept,
+		every:    flushEvery,
+		onFlush:  onFlush,
+	}
+	st.enc = json.NewEncoder(st.bw)
+	if err := st.enc.Encode(h); err != nil {
+		return nil, err
+	}
+	// Commit the header immediately: a tailing reader can parse it and
+	// size its expectations before the first event arrives.
+	if err := st.flush(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (st *StreamTracer) flush() error {
+	if err := st.bw.Flush(); err != nil {
 		return err
 	}
-	for _, ev := range t.Events() {
-		if err := enc.Encode(toJSON(ev)); err != nil {
-			return err
-		}
+	if st.onFlush != nil {
+		st.onFlush()
 	}
-	return bw.Flush()
+	return nil
+}
+
+// Write appends one event line. It enforces the writer-side mirror of
+// ReadTrace's invariants: no more events than the header declared, and
+// strictly increasing sequence numbers.
+func (st *StreamTracer) Write(ev Event) error {
+	if st.written >= st.declared {
+		return fmt.Errorf("obs: stream already carries the %d events its header declared", st.declared)
+	}
+	if st.written > 0 && ev.Seq <= st.lastSeq {
+		return fmt.Errorf("obs: stream event seq %d not after %d", ev.Seq, st.lastSeq)
+	}
+	st.lastSeq = ev.Seq
+	if err := st.enc.Encode(toJSON(ev)); err != nil {
+		return err
+	}
+	st.written++
+	if st.written%st.every == 0 {
+		return st.flush()
+	}
+	return nil
+}
+
+// Close flushes the tail and reconciles the event count against the
+// header. A mismatch is an error here for the same reason it is in
+// ReadTrace: a header whose kept count the body contradicts lies to every
+// downstream consumer.
+func (st *StreamTracer) Close() error {
+	if st.written != st.declared {
+		return fmt.Errorf("obs: stream wrote %d events but its header declared %d — readers would reject it as truncated",
+			st.written, st.declared)
+	}
+	return st.flush()
+}
+
+// WriteTraceStream streams a finished tracer's retained window through a
+// StreamTracer: header first (the tracer is done, so kept is exact), then
+// each event encoded straight from the ring — no []Event materialization,
+// so peak buffering is one bufio page regardless of ring size. Every
+// flushEvery events (≤ 0 selects DefaultStreamFlush) the buffer is
+// flushed and onFlush fires; pass http.Flusher.Flush there to chunk an
+// HTTP download.
+func WriteTraceStream(w io.Writer, source string, t *Tracer, flushEvery int, onFlush func()) error {
+	st, err := NewStreamTracer(w, t.header(source), flushEvery, onFlush)
+	if err != nil {
+		return err
+	}
+	var werr error
+	t.Each(func(ev Event) bool {
+		werr = st.Write(ev)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return st.Close()
 }
 
 // ReadTrace parses a trace file written by WriteTrace. It is hardened

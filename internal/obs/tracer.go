@@ -77,3 +77,27 @@ func (t *Tracer) Events() []Event {
 	out = append(out, t.ring[t.next:]...)
 	return append(out, t.ring[:t.next]...)
 }
+
+// Each calls fn for every retained event, oldest first, stopping early if
+// fn returns false. Unlike Events it materializes nothing: the streaming
+// trace writer uses it to keep peak memory independent of the ring size.
+func (t *Tracer) Each(fn func(Event) bool) {
+	if t.sampled < uint64(len(t.ring)) {
+		for i := 0; i < t.next; i++ {
+			if !fn(t.ring[i]) {
+				return
+			}
+		}
+		return
+	}
+	for i := t.next; i < len(t.ring); i++ {
+		if !fn(t.ring[i]) {
+			return
+		}
+	}
+	for i := 0; i < t.next; i++ {
+		if !fn(t.ring[i]) {
+			return
+		}
+	}
+}

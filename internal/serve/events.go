@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Lifecycle event names — the SSE event grammar and the timeline's
+// "event" values. One job emits, in order: submitted, dequeued, started,
+// zero or more experiment events (one per finished experiment, or one per
+// replay source), and exactly one finished event carrying the terminal
+// state. A job canceled while still queued skips straight from submitted
+// to finished.
+const (
+	evSubmitted  = "submitted"
+	evDequeued   = "dequeued"
+	evStarted    = "started"
+	evExperiment = "experiment"
+	evFinished   = "finished"
+)
+
+// TimelineEvent is one lifecycle timestamp of one job. Wall-clock values
+// live here (and in logs and SSE frames) by design — never in the
+// byte-pinned metrics documents, following the WallSeconds convention.
+type TimelineEvent struct {
+	// Seq numbers events from 0 per job; gaps never occur, but a bounded
+	// event buffer may drop the oldest entries (see Timeline.Dropped).
+	Seq   int    `json:"seq"`
+	Event string `json:"event"`
+	// Experiment is set on evExperiment events: the finished experiment's
+	// registry ID (or the replay job's source ID).
+	Experiment string `json:"experiment,omitempty"`
+	// State is set on the finished event: done, failed, or canceled.
+	State JobState `json:"state,omitempty"`
+	// Wall is the event's wall-clock time from the server's injected
+	// clock.
+	Wall time.Time `json:"wall"`
+	// OffsetSeconds is Wall relative to the job's submission — the
+	// monotonic view, immune to wall-clock steps between events.
+	OffsetSeconds float64 `json:"offset_seconds"`
+}
+
+// Timeline is the GET /v1/jobs/{id}/timeline document.
+type Timeline struct {
+	Job   string   `json:"job"`
+	State JobState `json:"state"`
+	// Dropped counts events the bounded buffer has already evicted; the
+	// Events list then starts mid-lifecycle.
+	Dropped int `json:"dropped_events,omitempty"`
+	// QueueSeconds is submission→dequeue wait; set once the job started.
+	QueueSeconds *float64 `json:"queue_seconds,omitempty"`
+	// RunSeconds is start→finish duration; set once the job finished.
+	RunSeconds *float64        `json:"run_seconds,omitempty"`
+	Events     []TimelineEvent `json:"events"`
+}
+
+// initEvents readies the job's event log. Called once at submit, before
+// the job is visible to any other goroutine.
+func (j *Job) initEvents(capacity int, now func() time.Time) {
+	j.evCap = capacity
+	j.evPing = make(chan struct{})
+	j.now = now
+}
+
+// record appends one lifecycle event and wakes every waiting subscriber.
+// It never blocks on consumers: the log is a bounded buffer (oldest
+// dropped on overflow) and the wake-up is a closed channel, so a stalled
+// SSE reader costs the producing worker exactly one mutexed append.
+func (j *Job) record(at time.Time, event, experiment string, state JobState) {
+	j.evMu.Lock()
+	ev := TimelineEvent{
+		Seq:        j.evSeq,
+		Event:      event,
+		Experiment: experiment,
+		State:      state,
+		Wall:       at,
+	}
+	// j.created is written once, before the first record call, so this
+	// read needs no server lock.
+	ev.OffsetSeconds = at.Sub(j.created).Seconds()
+	j.evSeq++
+	j.evLog = append(j.evLog, ev)
+	if len(j.evLog) > j.evCap {
+		j.evLog = j.evLog[1:]
+		j.evBase++
+	}
+	if event == evFinished {
+		j.evDone = true
+	}
+	close(j.evPing)
+	j.evPing = make(chan struct{})
+	j.evMu.Unlock()
+}
+
+// eventsSince snapshots the retained events at sequence ≥ seq. dropped
+// reports how many requested events the buffer has already evicted. The
+// returned ping channel closes on the next append after this snapshot;
+// done reports whether the terminal event is already in the log.
+func (j *Job) eventsSince(seq int) (evs []TimelineEvent, dropped int, done bool, ping chan struct{}) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	if seq < j.evBase {
+		dropped = j.evBase - seq
+		seq = j.evBase
+	}
+	if i := seq - j.evBase; i < len(j.evLog) {
+		evs = append(evs, j.evLog[i:]...)
+	}
+	return evs, dropped, j.evDone, j.evPing
+}
+
+// handleJobTimeline serves the lifecycle timestamps and the derived
+// queue-wait/run-duration numbers of one job.
+func (s *Server) handleJobTimeline(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	state, created, started, finished := j.state, j.created, j.started, j.finished
+	s.mu.Unlock()
+	evs, dropped, _, _ := j.eventsSince(0)
+	tl := Timeline{Job: j.ID, State: state, Dropped: dropped, Events: evs}
+	if tl.Events == nil {
+		tl.Events = []TimelineEvent{}
+	}
+	if !started.IsZero() {
+		q := started.Sub(created).Seconds()
+		tl.QueueSeconds = &q
+	}
+	if !started.IsZero() && !finished.IsZero() {
+		d := finished.Sub(started).Seconds()
+		tl.RunSeconds = &d
+	}
+	writeJSON(w, http.StatusOK, tl)
+}
+
+// handleJobEvents streams one job's lifecycle as Server-Sent Events:
+//
+//	event: <lifecycle name>
+//	data: <TimelineEvent JSON>
+//
+// The stream replays the job's retained history first (a late subscriber
+// still sees submitted→…), then follows live events, emits `: heartbeat`
+// comments while idle, and closes after delivering the finished event or
+// when the client disconnects. Consumers that fall behind the bounded
+// event buffer get a `: N events dropped` comment where the gap was.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "serve: response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	heartbeat := time.NewTicker(s.opts.SSEHeartbeat)
+	defer heartbeat.Stop()
+	next := 0
+	for {
+		evs, dropped, done, ping := j.eventsSince(next)
+		if dropped > 0 {
+			fmt.Fprintf(w, ": %d events dropped (buffer %d)\n\n", dropped, j.evCap)
+		}
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				s.log.Warn("sse marshal failed", "job", j.ID, "error", err)
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Event, data); err != nil {
+				return // client gone; ctx cancellation races behind the write error
+			}
+		}
+		if len(evs) > 0 || dropped > 0 {
+			fl.Flush()
+		}
+		next += dropped + len(evs)
+		if done {
+			return
+		}
+		select {
+		case <-ping:
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

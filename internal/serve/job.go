@@ -87,6 +87,23 @@ type Job struct {
 	cancel   context.CancelFunc
 	done     chan struct{}
 
+	// now is the server clock, captured at submit so the worker can stamp
+	// per-experiment events without reaching back into the Server.
+	now func() time.Time
+
+	// The lifecycle event log behind /timeline and the SSE stream: a
+	// bounded slice under its own mutex. Producers append and never block;
+	// evBase counts events dropped to the bound, evPing is closed and
+	// replaced on every append to wake streaming readers. Lock ordering:
+	// evMu is a leaf — never acquire the Server mutex while holding it.
+	evMu   sync.Mutex
+	evLog  []TimelineEvent
+	evBase int
+	evSeq  int
+	evCap  int
+	evPing chan struct{}
+	evDone bool
+
 	// resMu guards results and divergences, which the worker commits
 	// per experiment while /metrics scrapes may be reading — finished
 	// experiments of a still-running job are already visible.
@@ -109,18 +126,22 @@ type Job struct {
 // hpmp-metrics/v1 results. Timing fields live here — never inside the
 // metrics — so the metrics stay deterministic.
 type Status struct {
-	ID          string         `json:"id"`
-	Kind        string         `json:"kind"`
-	State       JobState       `json:"state"`
-	Error       string         `json:"error,omitempty"`
-	Created     time.Time      `json:"created"`
-	Started     *time.Time     `json:"started,omitempty"`
-	Finished    *time.Time     `json:"finished,omitempty"`
-	Machine     simcfg.Machine `json:"machine"`
-	Experiments []string       `json:"experiments,omitempty"`
-	Divergences uint64         `json:"divergences,omitempty"`
-	Traces      []string       `json:"traces,omitempty"`
-	Results     []*obs.Metrics `json:"results,omitempty"`
+	ID       string     `json:"id"`
+	Kind     string     `json:"kind"`
+	State    JobState   `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// QueueSeconds (submission→start) and RunSeconds (start→finish) are
+	// derived from the timestamps above once each interval is complete.
+	QueueSeconds *float64       `json:"queue_seconds,omitempty"`
+	RunSeconds   *float64       `json:"run_seconds,omitempty"`
+	Machine      simcfg.Machine `json:"machine"`
+	Experiments  []string       `json:"experiments,omitempty"`
+	Divergences  uint64         `json:"divergences,omitempty"`
+	Traces       []string       `json:"traces,omitempty"`
+	Results      []*obs.Metrics `json:"results,omitempty"`
 }
 
 // resolve validates the request on the one simcfg path and fills the
@@ -218,6 +239,7 @@ func (j *Job) executeRun(ctx context.Context) error {
 		if o.Trace != nil {
 			j.addTrace(o.Experiment.ID, o.Trace)
 		}
+		j.record(j.now(), evExperiment, o.Experiment.ID, "")
 	})
 
 	var failed []string
@@ -286,6 +308,7 @@ func (j *Job) executeReplay(ctx context.Context) error {
 	if tr != nil {
 		j.addTrace(source, tr)
 	}
+	j.record(j.now(), evExperiment, source, "")
 	return nil
 }
 
@@ -334,10 +357,16 @@ func (j *Job) status() Status {
 	if !j.started.IsZero() {
 		t := j.started
 		st.Started = &t
+		q := j.started.Sub(j.created).Seconds()
+		st.QueueSeconds = &q
 	}
 	if !j.finished.IsZero() {
 		t := j.finished
 		st.Finished = &t
+		if !j.started.IsZero() {
+			d := j.finished.Sub(j.started).Seconds()
+			st.RunSeconds = &d
+		}
 	}
 	if j.state == StateDone || j.state == StateFailed {
 		st.Results = results

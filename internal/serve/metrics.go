@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 
 	"hpmp/internal/obs"
@@ -17,10 +18,15 @@ import (
 //	hpmpsimd_queue_depth            jobs waiting in the bounded queue
 //	hpmpsimd_queue_capacity         the queue bound
 //	hpmpsimd_workers                tenant-job concurrency
+//	hpmpsimd_queue_wait_seconds     histogram of submission→start waits
+//	hpmpsimd_job_run_seconds        histogram of start→finish durations
+//	hpmpsimd_http_request_seconds{route,code}     HTTP latency histograms
 //	hpmp_tenant_counter{job,experiment,counter}   per-tenant counters
 //	hpmp_tenant_derived{job,experiment,metric}    per-tenant derived rates
 //	hpmp_tenant_divergences{job}                  replay divergence counts
 //
+// Family order is fixed and label cells render deterministically: routes
+// in registration order, status codes ascending.
 // Finished experiments of still-running jobs are already visible: the
 // page reflects whatever results each job has committed so far.
 func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
@@ -49,6 +55,27 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("# HELP hpmpsimd_workers Concurrent tenant-job workers.\n")
 	b.WriteString("# TYPE hpmpsimd_workers gauge\n")
 	fmt.Fprintf(&b, "hpmpsimd_workers %d\n", s.opts.Workers)
+
+	obs.WriteSecondsFamilyHeader(&b, "hpmpsimd_queue_wait_seconds",
+		"Seconds jobs waited between submission and start.")
+	obs.WriteSecondsSamples(&b, "hpmpsimd_queue_wait_seconds", "", s.hQueueWait.Snapshot())
+	obs.WriteSecondsFamilyHeader(&b, "hpmpsimd_job_run_seconds",
+		"Seconds jobs spent running, start to finish.")
+	obs.WriteSecondsSamples(&b, "hpmpsimd_job_run_seconds", "", s.hRunSecs.Snapshot())
+	obs.WriteSecondsFamilyHeader(&b, "hpmpsimd_http_request_seconds",
+		"HTTP request latency by route pattern and status code.")
+	for _, route := range s.httpRoutes {
+		byCode := s.httpHist[route].snapshot()
+		codes := make([]int, 0, len(byCode))
+		for code := range byCode {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			labels := fmt.Sprintf("route=%q,code=\"%d\"", obs.PromEscape(route), code)
+			obs.WriteSecondsSamples(&b, "hpmpsimd_http_request_seconds", labels, byCode[code])
+		}
+	}
 
 	// Per-tenant families: each job's committed snapshots, including the
 	// finished experiments of jobs still running.

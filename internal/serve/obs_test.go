@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpmp/internal/obs"
+)
+
+// fakeClock is a manual clock for Options.Now: time moves only when the
+// test says so, making every timeline value exact.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// syncBuf is a goroutine-safe log sink: the worker pool and HTTP handlers
+// log concurrently.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuf) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuf) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+func getTimeline(t *testing.T, ts *httptest.Server, id string) Timeline {
+	t.Helper()
+	var tl Timeline
+	if err := json.Unmarshal(getBody(t, ts, "/v1/jobs/"+id+"/timeline", http.StatusOK), &tl); err != nil {
+		t.Fatalf("decoding timeline: %v", err)
+	}
+	return tl
+}
+
+// TestTimelineDeterministic pins the timeline surface against a manual
+// clock: with one worker busy, a second job's queue wait and run duration
+// are exactly the advances the test performed.
+func TestTimelineDeterministic(t *testing.T) {
+	clk := newFakeClock()
+	base := clk.now()
+	s, ts := testServer(t, Options{Workers: 1, QueueDepth: 4, Now: clk.now})
+	release, started := stubExec(s)
+
+	blocker, _ := postJob(t, ts, lightJob) // dequeued immediately at T0
+	<-started
+	clk.advance(3 * time.Second)
+	second, _ := postJob(t, ts, lightJob) // created T0+3, waits behind blocker
+	clk.advance(4 * time.Second)
+	release() // both finish at T0+7
+
+	fin := waitTerminal(t, ts, second.ID)
+	if fin.QueueSeconds == nil || *fin.QueueSeconds != 4 {
+		t.Fatalf("second job queue_seconds = %v, want 4", fin.QueueSeconds)
+	}
+	if fin.RunSeconds == nil || *fin.RunSeconds != 0 {
+		t.Fatalf("second job run_seconds = %v, want 0", fin.RunSeconds)
+	}
+	bfin := waitTerminal(t, ts, blocker.ID)
+	if bfin.QueueSeconds == nil || *bfin.QueueSeconds != 0 ||
+		bfin.RunSeconds == nil || *bfin.RunSeconds != 7 {
+		t.Fatalf("blocker queue/run = %v/%v, want 0/7", bfin.QueueSeconds, bfin.RunSeconds)
+	}
+
+	tl := getTimeline(t, ts, second.ID)
+	if tl.State != StateDone || tl.Dropped != 0 {
+		t.Fatalf("timeline state=%s dropped=%d", tl.State, tl.Dropped)
+	}
+	if tl.QueueSeconds == nil || *tl.QueueSeconds != 4 || tl.RunSeconds == nil || *tl.RunSeconds != 0 {
+		t.Fatalf("timeline queue/run = %v/%v, want 4/0", tl.QueueSeconds, tl.RunSeconds)
+	}
+	want := []struct {
+		event  string
+		offset float64
+		state  JobState
+	}{
+		{evSubmitted, 0, ""},
+		{evDequeued, 4, ""},
+		{evStarted, 4, ""},
+		{evFinished, 4, StateDone},
+	}
+	if len(tl.Events) != len(want) {
+		t.Fatalf("timeline has %d events, want %d: %+v", len(tl.Events), len(want), tl.Events)
+	}
+	for i, w := range want {
+		ev := tl.Events[i]
+		if ev.Seq != i || ev.Event != w.event || ev.OffsetSeconds != w.offset || ev.State != w.state {
+			t.Fatalf("event %d = %+v, want {%s offset=%g state=%s}", i, ev, w.event, w.offset, w.state)
+		}
+	}
+	// Wall times come straight from the injected clock.
+	if got, want := tl.Events[0].Wall, base.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("submitted wall = %v, want %v", got, want)
+	}
+	if got, want := tl.Events[3].Wall, base.Add(7*time.Second); !got.Equal(want) {
+		t.Fatalf("finished wall = %v, want %v", got, want)
+	}
+}
+
+// sseEvent is one parsed frame from the /events stream.
+type sseEvent struct {
+	name string
+	data TimelineEvent
+}
+
+// readSSE reads frames until want event frames arrived (comments are
+// returned separately and do not count), or the stream ends.
+func readSSE(t *testing.T, br *bufio.Reader, want int) (events []sseEvent, comments []string) {
+	t.Helper()
+	var name string
+	for len(events) < want {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if err == io.EOF {
+				return events, comments
+			}
+			t.Fatalf("reading SSE: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev TimelineEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("SSE data not a TimelineEvent: %v (%q)", err, line)
+			}
+			events = append(events, sseEvent{name: name, data: ev})
+		case strings.HasPrefix(line, ":"):
+			comments = append(comments, line)
+		case line == "":
+			// frame separator
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	return events, comments
+}
+
+// TestEventsSSE follows a job over /events: history replays on connect,
+// live events arrive as they happen, a heartbeat comment covers the idle
+// stretch, and the stream closes itself after the finished event.
+func TestEventsSSE(t *testing.T) {
+	s, ts := testServer(t, Options{Workers: 1, QueueDepth: 4, SSEHeartbeat: 20 * time.Millisecond})
+	release, started := stubExec(s)
+
+	st, _ := postJob(t, ts, lightJob)
+	<-started
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	// The running job's history replays immediately.
+	history, _ := readSSE(t, br, 3)
+	for i, wantName := range []string{evSubmitted, evDequeued, evStarted} {
+		if history[i].name != wantName || history[i].data.Event != wantName || history[i].data.Seq != i {
+			t.Fatalf("history[%d] = %+v, want %s seq=%d", i, history[i], wantName, i)
+		}
+	}
+
+	// Idle: the heartbeat must arrive before anything else (skipping the
+	// previous frame's trailing separator).
+	line := "\n"
+	for line == "\n" {
+		var err error
+		line, err = br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading heartbeat: %v", err)
+		}
+	}
+	if !strings.HasPrefix(line, ": heartbeat") {
+		t.Fatalf("expected heartbeat comment, got %q", line)
+	}
+
+	release()
+	tail, _ := readSSE(t, br, 1)
+	if len(tail) != 1 || tail[0].name != evFinished || tail[0].data.State != StateDone {
+		t.Fatalf("tail = %+v, want finished/done", tail)
+	}
+	// After the terminal event the server closes the stream: nothing but
+	// the final frame separator remains.
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			break
+		}
+		if err != nil || line != "\n" {
+			t.Fatalf("stream after finished: line %q err %v, want EOF", line, err)
+		}
+	}
+}
+
+// TestEventBufferBounded: a tiny event buffer drops the oldest events
+// without blocking anything; the timeline reports the drop count and a
+// late SSE subscriber is told what it missed.
+func TestEventBufferBounded(t *testing.T) {
+	s, ts := testServer(t, Options{Workers: 1, QueueDepth: 4, EventBuffer: 2})
+	release, started := stubExec(s)
+	st, _ := postJob(t, ts, lightJob)
+	<-started
+	release()
+	if fin := waitTerminal(t, ts, st.ID); fin.State != StateDone {
+		t.Fatalf("job state %s", fin.State)
+	}
+
+	// 4 lifecycle events through a 2-slot buffer: the first two dropped.
+	tl := getTimeline(t, ts, st.ID)
+	if tl.Dropped != 2 || len(tl.Events) != 2 {
+		t.Fatalf("dropped=%d events=%d, want 2/2 (%+v)", tl.Dropped, len(tl.Events), tl.Events)
+	}
+	if tl.Events[0].Seq != 2 || tl.Events[1].Event != evFinished {
+		t.Fatalf("retained events wrong: %+v", tl.Events)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	events, comments := readSSE(t, bufio.NewReader(resp.Body), 2)
+	if len(comments) == 0 || !strings.Contains(comments[0], "2 events dropped") {
+		t.Fatalf("late subscriber not told about drops: %q", comments)
+	}
+	if len(events) != 2 || events[1].name != evFinished {
+		t.Fatalf("late subscriber events: %+v", events)
+	}
+}
+
+// TestStructuredLogs pins the daemon's log output: with the clock frozen
+// and the time attribute stripped, every lifecycle line renders
+// byte-deterministically.
+func TestStructuredLogs(t *testing.T) {
+	clk := newFakeClock()
+	sink := &syncBuf{}
+	logger := slog.New(slog.NewTextHandler(sink, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+	s := New(Options{Workers: 1, QueueDepth: 2, Logger: logger, Now: clk.now})
+	ts := newTestHTTP(t, s)
+	release, started := stubExec(s)
+
+	st, _ := postJob(t, ts, lightJob)
+	<-started
+	release()
+	waitTerminal(t, ts, st.ID)
+	ctx, cancel := ctxWithTimeout(10 * time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	got := sink.String()
+	for _, want := range []string{
+		`level=INFO msg="job queued" job=job-1 kind=run experiments=1 trace=false` + "\n",
+		`level=INFO msg="job running" job=job-1 kind=run queue_seconds=0` + "\n",
+		`level=INFO msg="job finished" job=job-1 state=done run_seconds=0` + "\n",
+		`level=INFO msg=draining pending_jobs=0` + "\n",
+		`level=INFO msg=drained` + "\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("log missing line %q; log:\n%s", want, got)
+		}
+	}
+}
+
+// TestDaemonHistograms: after one job, the queue-wait and run-duration
+// histograms hold exactly one observation each (in the lowest bucket —
+// the clock was frozen), and the HTTP family has a POST /v1/jobs 202
+// cell. The page still passes the exposition validator.
+func TestDaemonHistograms(t *testing.T) {
+	clk := newFakeClock()
+	s, ts := testServer(t, Options{Workers: 1, QueueDepth: 2, Now: clk.now})
+	release, started := stubExec(s)
+	st, _ := postJob(t, ts, lightJob)
+	<-started
+	release()
+	waitTerminal(t, ts, st.ID)
+
+	page := string(getBody(t, ts, "/metrics", http.StatusOK))
+	if err := checkPrometheus(page); err != nil {
+		t.Fatalf("scrape invalid: %v\n%s", err, page)
+	}
+	for _, want := range []string{
+		`hpmpsimd_queue_wait_seconds_bucket{le="0.001"} 1` + "\n",
+		"hpmpsimd_queue_wait_seconds_count 1\n",
+		`hpmpsimd_job_run_seconds_bucket{le="0.001"} 1` + "\n",
+		"hpmpsimd_job_run_seconds_count 1\n",
+		`hpmpsimd_http_request_seconds_count{route="POST /v1/jobs",code="202"} 1` + "\n",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// A second scrape must show the first one in the HTTP family: the
+	// middleware observes every route, including /metrics itself.
+	page2 := string(getBody(t, ts, "/metrics", http.StatusOK))
+	if !strings.Contains(page2, `hpmpsimd_http_request_seconds_count{route="GET /metrics",code="200"} 1`+"\n") {
+		t.Errorf("second scrape missing GET /metrics cell")
+	}
+}
+
+// TestTraceDownloadHeaders: the streamed trace download commits its
+// download headers before the first byte and the body parses as
+// hpmp-trace/v1 with the header's kept count honored.
+func TestTraceDownloadHeaders(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1, QueueDepth: 2, TraceFlushEvery: 4})
+	st, _ := postJob(t, ts, `{"kind":"run","experiments":["scen-shootdown"],"quick":true,"trace":true,"trace_every":64}`)
+	if fin := waitTerminal(t, ts, st.ID); fin.State != StateDone {
+		t.Fatalf("job state %s (%s)", fin.State, fin.Error)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/jsonl" {
+		t.Fatalf("trace Content-Type = %q", ct)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, ".trace.jsonl") {
+		t.Fatalf("trace Content-Disposition = %q", cd)
+	}
+	h, events, err := obs.ReadTrace(resp.Body)
+	if err != nil {
+		t.Fatalf("streamed trace does not parse: %v", err)
+	}
+	if h.Kept != len(events) || h.Kept == 0 {
+		t.Fatalf("kept=%d events=%d", h.Kept, len(events))
+	}
+}

@@ -6,8 +6,10 @@
 //	POST   /v1/jobs            submit a job (run or replay, unified config)
 //	GET    /v1/jobs            list job statuses
 //	GET    /v1/jobs/{id}       one job's status + hpmp-metrics/v1 results
-//	GET    /v1/jobs/{id}/metrics  the raw metrics document alone
-//	GET    /v1/jobs/{id}/trace    captured trace, hpmp-trace/v1 JSONL
+//	GET    /v1/jobs/{id}/metrics   the raw metrics document alone
+//	GET    /v1/jobs/{id}/trace     captured trace, hpmp-trace/v1 JSONL (chunked)
+//	GET    /v1/jobs/{id}/timeline  lifecycle timestamps + queue/run durations
+//	GET    /v1/jobs/{id}/events    live SSE stream of lifecycle events
 //	DELETE /v1/jobs/{id}       cancel (queued or mid-run)
 //	GET    /v1/experiments     the experiment registry
 //	GET    /metrics            live Prometheus (per-tenant + daemon families)
@@ -17,7 +19,8 @@
 // machine belongs to exactly one job, and a panicking or failing
 // experiment is contained by the bench runner. Identical submissions
 // produce byte-identical metrics — wall-clock data lives only in the job
-// status envelope.
+// status envelope, the timeline, the SSE stream, and the structured log,
+// never in pinned artifacts.
 package serve
 
 import (
@@ -25,6 +28,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -41,8 +46,27 @@ type Options struct {
 	// QueueDepth bounds jobs waiting behind the running ones (default
 	// 16); a full queue answers 503 with Retry-After.
 	QueueDepth int
-	// Logf, when set, receives one line per lifecycle event.
-	Logf func(format string, args ...any)
+	// Logger receives structured lifecycle logs (submit, dequeue, finish,
+	// cancel, drain, stream aborts) with per-job fields. Default: discard.
+	// Tests pin log output by injecting a handler that drops the time
+	// attribute and writes to a buffer.
+	Logger *slog.Logger
+	// Now is the clock behind every job timestamp (status envelope,
+	// timeline, SSE events, latency histograms). Default time.Now; tests
+	// inject a manual clock to make timelines deterministic.
+	Now func() time.Time
+	// EventBuffer bounds each job's retained lifecycle-event log (default
+	// 256). The log is what /timeline serves and what SSE consumers
+	// replay from; when it overflows, the oldest events drop and readers
+	// are told how many they missed. Appends never block, so a stalled
+	// SSE consumer cannot wedge a worker.
+	EventBuffer int
+	// SSEHeartbeat is the idle keep-alive interval on /events (default
+	// 15s): a comment line that holds intermediaries' timeouts open.
+	SSEHeartbeat time.Duration
+	// TraceFlushEvery is the event stride between explicit chunk flushes
+	// on the streamed trace download (default obs.DefaultStreamFlush).
+	TraceFlushEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -52,8 +76,20 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 16
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.EventBuffer <= 0 {
+		o.EventBuffer = 256
+	}
+	if o.SSEHeartbeat <= 0 {
+		o.SSEHeartbeat = 15 * time.Second
+	}
+	if o.TraceFlushEvery <= 0 {
+		o.TraceFlushEvery = obs.DefaultStreamFlush
 	}
 	return o
 }
@@ -62,6 +98,8 @@ func (o Options) withDefaults() Options {
 // worker pool. Create with New, mount via Handler, stop via Drain.
 type Server struct {
 	opts Options
+	log  *slog.Logger
+	now  func() time.Time
 	mux  *http.ServeMux
 
 	baseCtx   context.Context
@@ -75,6 +113,13 @@ type Server struct {
 	nextID   int
 	draining bool
 
+	// Daemon-level latency histograms, all rendered on /metrics:
+	// queue-wait and run-duration per job, HTTP latency per route+code.
+	hQueueWait *obs.SecondsHistogram
+	hRunSecs   *obs.SecondsHistogram
+	httpRoutes []string // registration order = exposition order
+	httpHist   map[string]*routeHist
+
 	// exec runs one job body; tests substitute it to model slow or
 	// misbehaving tenants without booting simulators.
 	exec func(ctx context.Context, j *Job) error
@@ -85,11 +130,16 @@ func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:      opts,
-		baseCtx:   ctx,
-		cancelAll: cancel,
-		queue:     make(chan *Job, opts.QueueDepth),
-		jobs:      map[string]*Job{},
+		opts:       opts,
+		log:        opts.Logger,
+		now:        opts.Now,
+		baseCtx:    ctx,
+		cancelAll:  cancel,
+		queue:      make(chan *Job, opts.QueueDepth),
+		jobs:       map[string]*Job{},
+		hQueueWait: obs.NewSecondsHistogram(nil),
+		hRunSecs:   obs.NewSecondsHistogram(nil),
+		httpHist:   map[string]*routeHist{},
 	}
 	s.exec = func(ctx context.Context, j *Job) error { return j.execute(ctx) }
 	s.mux = http.NewServeMux()
@@ -105,15 +155,17 @@ func New(opts Options) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("POST /v1/jobs", s.handleSubmit)
+	s.handle("GET /v1/jobs", s.handleList)
+	s.handle("GET /v1/jobs/{id}", s.handleStatus)
+	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.handle("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	s.handle("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.handle("GET /v1/jobs/{id}/timeline", s.handleJobTimeline)
+	s.handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.handle("GET /v1/experiments", s.handleExperiments)
+	s.handle("GET /metrics", s.handlePrometheus)
+	s.handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
@@ -137,11 +189,16 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = s.now()
+	queueWait := j.started.Sub(j.created).Seconds()
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.cancel = cancel
 	s.mu.Unlock()
-	s.opts.Logf("serve: %s running (%s)", j.ID, j.Request.Kind)
+	s.hQueueWait.Observe(queueWait)
+	j.record(j.started, evDequeued, "", "")
+	s.log.Info("job running", "job", j.ID, "kind", j.Request.Kind,
+		"queue_seconds", queueWait)
+	j.record(s.now(), evStarted, "", "")
 
 	err := func() (err error) {
 		defer func() {
@@ -154,7 +211,7 @@ func (s *Server) runJob(j *Job) {
 	cancel()
 
 	s.mu.Lock()
-	j.finished = time.Now()
+	j.finished = s.now()
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -165,9 +222,19 @@ func (s *Server) runJob(j *Job) {
 		j.state = StateFailed
 		j.errText = err.Error()
 	}
+	finished, state, errText := j.finished, j.state, j.errText
+	runSecs := finished.Sub(j.started).Seconds()
 	close(j.done)
 	s.mu.Unlock()
-	s.opts.Logf("serve: %s %s", j.ID, j.state)
+	s.hRunSecs.Observe(runSecs)
+	j.record(finished, evFinished, "", state)
+	if errText != "" {
+		s.log.Warn("job finished", "job", j.ID, "state", state,
+			"run_seconds", runSecs, "error", errText)
+	} else {
+		s.log.Info("job finished", "job", j.ID, "state", state,
+			"run_seconds", runSecs)
+	}
 }
 
 // Drain stops intake (POSTs answer 503), waits for queued and running
@@ -178,9 +245,16 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
+	pending := 0
+	for _, j := range s.jobs {
+		if j.state == StateQueued || j.state == StateRunning {
+			pending++
+		}
+	}
 	s.mu.Unlock()
 	if !already {
 		close(s.queue)
+		s.log.Info("draining", "pending_jobs", pending)
 	}
 
 	done := make(chan struct{})
@@ -190,10 +264,14 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if !already {
+			s.log.Info("drained")
+		}
 		return nil
 	case <-ctx.Done():
 		s.cancelAll()
 		<-done
+		s.log.Warn("drain expired; in-flight jobs canceled", "cause", ctx.Err())
 		return fmt.Errorf("serve: drain expired, %w; in-flight jobs canceled", ctx.Err())
 	}
 }
@@ -227,6 +305,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	j.initEvents(s.opts.EventBuffer, s.now)
 
 	s.mu.Lock()
 	if s.draining {
@@ -238,7 +317,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	j.ID = fmt.Sprintf("job-%d", s.nextID)
 	j.state = StateQueued
-	j.created = time.Now()
+	j.created = s.now()
+	// Recording "submitted" before the enqueue keeps event seq 0 ahead of
+	// the worker's "dequeued" even when a worker is already waiting.
+	j.record(j.created, evSubmitted, "", "")
 	select {
 	case s.queue <- j:
 		s.jobs[j.ID] = j
@@ -247,13 +329,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.nextID-- // rejected submissions don't consume IDs
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", "1")
+		s.log.Warn("queue full, job rejected", "kind", req.Kind, "depth", cap(s.queue))
 		httpError(w, http.StatusServiceUnavailable,
 			"serve: queue full (%d deep); retry later", cap(s.queue))
 		return
 	}
 	st := j.status()
 	s.mu.Unlock()
-	s.opts.Logf("serve: %s queued (%s)", j.ID, j.Request.Kind)
+	s.log.Info("job queued", "job", j.ID, "kind", j.Request.Kind,
+		"experiments", len(j.exps), "trace", j.Request.Trace)
 	writeJSON(w, http.StatusAccepted, st)
 }
 
@@ -299,18 +383,26 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	var terminal time.Time
 	switch j.state {
 	case StateQueued:
 		// The worker skips jobs whose state moved past queued.
 		j.state = StateCanceled
 		j.errText = "canceled before start"
-		j.finished = time.Now()
+		j.finished = s.now()
+		terminal = j.finished
 		close(j.done)
 	case StateRunning:
 		j.cancel()
 	}
 	st := j.status()
 	s.mu.Unlock()
+	if !terminal.IsZero() {
+		j.record(terminal, evFinished, "", StateCanceled)
+		s.log.Info("job canceled before start", "job", j.ID)
+	} else if st.State == StateRunning {
+		s.log.Info("job cancellation requested", "job", j.ID)
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -335,6 +427,30 @@ func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// countingWriter tracks whether any byte reached the underlying writer,
+// so the trace handler can tell "no response committed yet" (a JSON 500
+// is still possible) from "mid-stream" (it is not).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// handleJobTrace serves a captured trace as chunked hpmp-trace/v1 JSONL.
+// The stream path is bounded: events are encoded straight off the
+// tracer's ring through obs.WriteTraceStream (no full-ring buffer), and
+// the response flushes every TraceFlushEvery events so large traces leave
+// the server as they are produced. Headers are committed before the
+// first byte; a write failure after that cannot send a JSON error into a
+// stream that already promised 200 + JSONL, so the handler logs the
+// abort and closes the connection — the truncation is then detectable on
+// the client side, because ReadTrace rejects a body shorter than the
+// header's kept count.
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobFor(w, r)
 	if !ok {
@@ -368,8 +484,23 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/jsonl")
-	if err := obs.WriteTrace(w, j.ID+"/"+id, tr); err != nil {
-		s.opts.Logf("serve: %s: streaming trace: %v", j.ID, err)
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", j.ID+"-"+id+".trace.jsonl"))
+	fl, _ := w.(http.Flusher)
+	onFlush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	cw := &countingWriter{w: w}
+	if err := obs.WriteTraceStream(cw, j.ID+"/"+id, tr, s.opts.TraceFlushEvery, onFlush); err != nil {
+		if cw.n == 0 {
+			httpError(w, http.StatusInternalServerError, "serve: streaming trace: %v", err)
+			return
+		}
+		s.log.Warn("trace stream aborted mid-stream; closing connection",
+			"job", j.ID, "experiment", id, "written_bytes", cw.n, "error", err)
+		panic(http.ErrAbortHandler)
 	}
 }
 

@@ -399,7 +399,15 @@ func checkPrometheus(page string) error {
 			if i := strings.IndexAny(line, "{ "); i >= 0 {
 				name = line[:i]
 			}
-			if !typed[name] {
+			// Histogram samples carry the family name plus a fixed suffix.
+			base := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suf) {
+					base = strings.TrimSuffix(name, suf)
+					break
+				}
+			}
+			if !typed[name] && !typed[base] {
 				return fmt.Errorf("line %d: sample %s precedes its # TYPE", ln+1, name)
 			}
 		}
